@@ -1,0 +1,28 @@
+// Ablation: the minimum-stripe floor.  Cutting a message into stripes below
+// a few KiB pays per-stripe posting/ACK costs without adding engine
+// parallelism; this sweep quantifies that trade-off for blocking traffic.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace ib12x;
+using namespace ib12x::bench;
+
+int main() {
+  std::printf("Ablation — minimum stripe size (even striping, 8 QPs/port)\n");
+  harness::Table t("min-stripe sweep (striping-8QP, blocking latency us)", "min-stripe");
+  t.add_column("lat@32K us");
+  t.add_column("lat@128K us");
+  t.add_column("lat@1M us");
+  for (std::int64_t floor : {512L, 2048L, 8192L, 32768L}) {
+    mvx::Config cfg = mvx::Config::enhanced(8, mvx::Policy::EvenStriping);
+    cfg.min_stripe = floor;
+    harness::Runner r(mvx::ClusterSpec{2, 1}, cfg, bench_params());
+    t.add_row(harness::size_label(floor),
+              {r.latency_us(32 * 1024), r.latency_us(128 * 1024), r.latency_us(1 << 20)});
+  }
+  emit(t);
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Ablation: the 16 KiB rendezvous/striping threshold (paper §3.3).
+// Sweeps the threshold and reports medium-message bandwidth and latency —
+// showing why the paper's 16 KiB choice is a sound middle ground between
+// eager copy cost (threshold too high) and handshake overhead (too low).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace ib12x;
+using namespace ib12x::bench;
+
+int main() {
+  std::printf("Ablation — rendezvous/striping threshold sweep (EPC, 4 QPs/port)\n");
+  const std::int64_t thresholds[] = {4 * 1024, 8 * 1024, 16 * 1024, 32 * 1024, 64 * 1024};
+
+  harness::Table t("threshold sweep (EPC-4QP)", "threshold");
+  t.add_column("uni-BW@16K MB/s");
+  t.add_column("uni-BW@64K MB/s");
+  t.add_column("lat@16K us");
+  t.add_column("lat@64K us");
+  for (std::int64_t th : thresholds) {
+    mvx::Config cfg = mvx::Config::enhanced(4, mvx::Policy::EPC);
+    cfg.rndv_threshold = th;
+    cfg.stripe_threshold = th;
+    harness::Runner r(mvx::ClusterSpec{2, 1}, cfg, bench_params());
+    t.add_row(harness::size_label(th), {r.uni_bw_mbs(16 * 1024), r.uni_bw_mbs(64 * 1024),
+                                        r.latency_us(16 * 1024), r.latency_us(64 * 1024)});
+  }
+  emit(t);
+  return 0;
+}

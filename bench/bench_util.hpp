@@ -1,0 +1,61 @@
+// Shared plumbing for the figure-regeneration binaries: the configurations
+// each paper figure compares, and environment-variable overrides so a user
+// can re-run a figure with more iterations (IB12X_BW_ITERS, IB12X_LAT_ITERS)
+// or emit CSV (IB12X_CSV=1).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hpp"
+#include "harness/table.hpp"
+#include "mvx/mpi.hpp"
+
+namespace ib12x::bench {
+
+inline int env_int(const char* name, int def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : def;
+}
+
+inline bool csv_requested() { return env_int("IB12X_CSV", 0) != 0; }
+
+inline harness::BenchParams bench_params() {
+  harness::BenchParams bp;
+  bp.lat_iters = env_int("IB12X_LAT_ITERS", bp.lat_iters);
+  bp.lat_skip = bp.lat_iters / 5;
+  bp.bw_iters = env_int("IB12X_BW_ITERS", bp.bw_iters);
+  bp.bw_skip = std::max(1, bp.bw_iters / 6);
+  bp.a2a_iters = env_int("IB12X_A2A_ITERS", bp.a2a_iters);
+  bp.a2a_skip = std::max(1, bp.a2a_iters / 5);
+  return bp;
+}
+
+/// A labelled configuration column of a figure.
+struct Column {
+  std::string label;
+  mvx::Config cfg;
+};
+
+inline Column original() { return {"orig-1QP", mvx::Config::original()}; }
+
+inline Column epc(int qps) {
+  return {"EPC-" + std::to_string(qps) + "QP", mvx::Config::enhanced(qps, mvx::Policy::EPC)};
+}
+
+inline Column policy_col(int qps, mvx::Policy p) {
+  return {std::string(mvx::to_string(p)) + "-" + std::to_string(qps) + "QP",
+          mvx::Config::enhanced(qps, p)};
+}
+
+inline void emit(const harness::Table& table) {
+  table.print(stdout);
+  if (csv_requested()) {
+    std::printf("\n-- csv --\n");
+    table.print_csv(stdout);
+  }
+}
+
+}  // namespace ib12x::bench

@@ -1,0 +1,123 @@
+// google-benchmark microbenchmarks of the simulation substrate itself:
+// event-queue throughput, resource-reservation cost, end-to-end modelled
+// message rate, FFT kernel speed.  These guard the *wall-clock* performance
+// of the simulator (a regression here makes the figure benches slow, not
+// wrong).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "ib/verbs.hpp"
+#include "mvx/mpi.hpp"
+#include "nas/fft.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/server.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace ib12x;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < n; ++i) q.push((i * 7919) % 1000, [] {});
+    sim::Time t = 0;
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop(t));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(16384);
+
+void BM_SimulatorEventCascade(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    int remaining = static_cast<int>(state.range(0));
+    std::function<void()> chain = [&] {
+      if (--remaining > 0) s.after(100, chain);
+    };
+    s.after(100, chain);
+    s.run();
+    benchmark::DoNotOptimize(s.now());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorEventCascade)->Arg(10000);
+
+void BM_ServerReserve(benchmark::State& state) {
+  sim::BandwidthServer srv("bench", 3.0);
+  sim::Time now = 0;
+  for (auto _ : state) {
+    auto r = srv.reserve_bytes(now, now, 4096);
+    now = r.start;  // keep `now` monotone without unbounded growth rate
+    benchmark::DoNotOptimize(r.finish);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServerReserve);
+
+void BM_IbMessageRate(benchmark::State& state) {
+  // Modelled (not wall-clock) messages through the full HCA pipeline.
+  const std::int64_t msg = state.range(0);
+  for (auto _ : state) {
+    sim::Simulator s;
+    ib::Fabric fab(s);
+    ib::Hca& a = fab.add_hca(0);
+    ib::Hca& b = fab.add_hca(1);
+    ib::CompletionQueue ascq, arcq, bscq, brcq;
+    ib::QueuePair& qa = a.create_qp(0, ascq, arcq);
+    ib::QueuePair& qb = b.create_qp(0, bscq, brcq);
+    ib::Fabric::connect(qa, qb);
+    std::vector<std::byte> src(static_cast<std::size_t>(msg)), dst(static_cast<std::size_t>(msg));
+    auto smr = a.mem().register_memory(src.data(), src.size());
+    auto dmr = b.mem().register_memory(dst.data(), dst.size());
+    for (int i = 0; i < 64; ++i) {
+      qb.post_recv({.wr_id = 1, .dst = dst.data(), .length = static_cast<std::uint32_t>(msg),
+                    .lkey = dmr.lkey});
+      qa.post_send({.wr_id = 2, .opcode = ib::Opcode::Send, .src = src.data(),
+                    .length = static_cast<std::uint32_t>(msg), .lkey = smr.lkey});
+    }
+    s.run();
+    benchmark::DoNotOptimize(s.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_IbMessageRate)->Arg(256)->Arg(65536);
+
+void BM_MpiPingPongWallClock(benchmark::State& state) {
+  for (auto _ : state) {
+    mvx::World w(mvx::ClusterSpec{2, 1}, mvx::Config::enhanced(4, mvx::Policy::EPC));
+    w.run([](mvx::Communicator& c) {
+      std::byte b{};
+      for (int i = 0; i < 50; ++i) {
+        if (c.rank() == 0) {
+          c.send(&b, 1, mvx::BYTE, 1, 0);
+          c.recv(&b, 1, mvx::BYTE, 1, 0);
+        } else {
+          c.recv(&b, 1, mvx::BYTE, 0, 0);
+          c.send(&b, 1, mvx::BYTE, 0, 0);
+        }
+      }
+    });
+    benchmark::DoNotOptimize(w.end_time());
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_MpiPingPongWallClock);
+
+void BM_Fft(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  nas::Fft fft(n);
+  std::vector<nas::Complex> data(n, nas::Complex(1.0, -0.5));
+  for (auto _ : state) {
+    fft.transform(data.data(), -1);
+    benchmark::DoNotOptimize(data[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Fft)->Arg(128)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Pallas/IMB-style collective suite beyond Alltoall (the paper reports "a
+// significant improvement in collective communication using the Pallas
+// benchmark suite" and plots Alltoall; this bench covers the rest of the
+// suite's core: Bcast, Allreduce, Allgather, Barrier, Reduce_scatter).
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace ib12x;
+using namespace ib12x::bench;
+
+namespace {
+
+using CollFn = std::function<void(mvx::Communicator&, std::vector<std::byte>&,
+                                  std::vector<std::byte>&, std::size_t)>;
+
+double coll_us(mvx::World& w, const CollFn& fn, std::size_t bytes, int iters, int skip) {
+  double result = 0;
+  w.run([&](mvx::Communicator& c) {
+    std::vector<std::byte> a(bytes * static_cast<std::size_t>(c.size()) + 16);
+    std::vector<std::byte> b(bytes * static_cast<std::size_t>(c.size()) + 16);
+    sim::Time t0 = 0;
+    for (int i = 0; i < iters; ++i) {
+      if (i == skip) {
+        c.barrier();
+        t0 = c.now();
+      }
+      fn(c, a, b, bytes);
+    }
+    c.barrier();
+    if (c.rank() == 0) result = sim::to_us(c.now() - t0) / (iters - skip);
+  });
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Pallas-style collectives, 2 nodes x 2 processes, orig vs 4QP EPC\n");
+  const std::vector<std::pair<const char*, CollFn>> suite = {
+      {"Bcast",
+       [](mvx::Communicator& c, std::vector<std::byte>& a, std::vector<std::byte>&, std::size_t n) {
+         c.bcast(a.data(), n, mvx::BYTE, 0);
+       }},
+      {"Allreduce",
+       [](mvx::Communicator& c, std::vector<std::byte>& a, std::vector<std::byte>& b, std::size_t n) {
+         c.allreduce(a.data(), b.data(), n / 8, mvx::DOUBLE, mvx::Op::Sum);
+       }},
+      {"Allgather",
+       [](mvx::Communicator& c, std::vector<std::byte>& a, std::vector<std::byte>& b, std::size_t n) {
+         c.allgather(a.data(), b.data(), n, mvx::BYTE);
+       }},
+      {"Reduce_scatter",
+       [](mvx::Communicator& c, std::vector<std::byte>& a, std::vector<std::byte>& b, std::size_t n) {
+         c.reduce_scatter_block(a.data(), b.data(), n / 8, mvx::DOUBLE, mvx::Op::Sum);
+       }},
+  };
+
+  for (const auto& [name, fn] : suite) {
+    harness::Table t(std::string(name) + " time per call (us), 2x2", "bytes");
+    t.add_column("orig-1QP");
+    t.add_column("EPC-4QP");
+    t.add_column("orig/EPC");
+    mvx::World orig(mvx::ClusterSpec{2, 2}, mvx::Config::original());
+    mvx::World epc(mvx::ClusterSpec{2, 2}, mvx::Config::enhanced(4, mvx::Policy::EPC));
+    for (std::int64_t bytes : harness::pow2_sizes(16 * 1024, 1 << 20)) {
+      const double o = coll_us(orig, fn, static_cast<std::size_t>(bytes), 10, 2);
+      const double e = coll_us(epc, fn, static_cast<std::size_t>(bytes), 10, 2);
+      t.add_row(harness::size_label(bytes), {o, e, o / e});
+    }
+    emit(t);
+  }
+
+  // Barrier is latency-only: multi-rail must not hurt it.
+  {
+    mvx::World orig(mvx::ClusterSpec{2, 2}, mvx::Config::original());
+    mvx::World epc(mvx::ClusterSpec{2, 2}, mvx::Config::enhanced(4, mvx::Policy::EPC));
+    CollFn barrier_fn = [](mvx::Communicator& c, std::vector<std::byte>&, std::vector<std::byte>&,
+                           std::size_t) { c.barrier(); };
+    const double o = coll_us(orig, barrier_fn, 1, 40, 8);
+    const double e = coll_us(epc, barrier_fn, 1, 40, 8);
+    std::printf("\nBarrier: orig %.2f us, EPC-4QP %.2f us\n", o, e);
+    harness::print_check("barrier EPC/orig ratio (~1, no penalty)", e / o, 0.9, 1.1);
+  }
+  return 0;
+}

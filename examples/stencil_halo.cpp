@@ -1,0 +1,141 @@
+// Stencil halo exchange — the communication pattern the paper names as
+// future work ("we plan to study the impact of these policies on other
+// communication types like stencil communication").
+//
+// A 2-D Jacobi iteration on a px × py process grid: every step exchanges
+// halo rows/columns with the four neighbours (non-blocking sendrecv pairs),
+// then relaxes the interior.  The example sweeps the scheduling policies and
+// reports time per step — showing that for this pattern (a few medium
+// messages per step, non-blocking) round robin and EPC behave alike, and
+// striping only pays off once halos cross the 16 KiB threshold.
+//
+//   $ ./build/examples/stencil_halo
+#include <cstdio>
+#include <vector>
+
+#include "mvx/mpi.hpp"
+
+using namespace ib12x;
+
+namespace {
+
+struct GridResult {
+  double us_per_step = 0;
+  double residual = 0;
+};
+
+GridResult run_stencil(mvx::Config cfg, int px, int py, int n_local, int steps) {
+  mvx::World world(mvx::ClusterSpec{px * py, 1}, cfg);  // one rank per node
+  GridResult result;
+
+  world.run([&](mvx::Communicator& comm) {
+    const int rank = comm.rank();
+    const int cx = rank % px, cy = rank / px;
+    const int west = cx > 0 ? rank - 1 : -1;
+    const int east = cx < px - 1 ? rank + 1 : -1;
+    const int north = cy > 0 ? rank - px : -1;
+    const int south = cy < py - 1 ? rank + px : -1;
+
+    // Local tile with a one-cell halo ring.
+    const int w = n_local + 2;
+    std::vector<double> grid(static_cast<std::size_t>(w) * w, 0.0);
+    std::vector<double> next = grid;
+    // Dirichlet boundary on the global west edge drives the diffusion.
+    if (cx == 0) {
+      for (int y = 0; y < w; ++y) grid[static_cast<std::size_t>(y) * w] = 100.0;
+    }
+
+    std::vector<double> col_out(static_cast<std::size_t>(n_local));
+    std::vector<double> col_in_w(static_cast<std::size_t>(n_local));
+    std::vector<double> col_in_e(static_cast<std::size_t>(n_local));
+
+    comm.barrier();
+    const sim::Time t0 = comm.now();
+    for (int s = 0; s < steps; ++s) {
+      std::vector<mvx::Request> reqs;
+      // Row halos are contiguous; column halos are packed.
+      if (north >= 0) {
+        reqs.push_back(comm.irecv(&grid[1], n_local, mvx::DOUBLE, north, 0));
+        reqs.push_back(comm.isend(&grid[static_cast<std::size_t>(w) + 1], n_local, mvx::DOUBLE, north, 1));
+      }
+      if (south >= 0) {
+        reqs.push_back(comm.irecv(&grid[static_cast<std::size_t>(w) * (n_local + 1) + 1], n_local,
+                                  mvx::DOUBLE, south, 1));
+        reqs.push_back(comm.isend(&grid[static_cast<std::size_t>(w) * n_local + 1], n_local,
+                                  mvx::DOUBLE, south, 0));
+      }
+      if (west >= 0) {
+        for (int y = 0; y < n_local; ++y) col_out[static_cast<std::size_t>(y)] = grid[static_cast<std::size_t>(y + 1) * w + 1];
+        reqs.push_back(comm.irecv(col_in_w.data(), n_local, mvx::DOUBLE, west, 2));
+        reqs.push_back(comm.isend(col_out.data(), n_local, mvx::DOUBLE, west, 3));
+      }
+      if (east >= 0) {
+        for (int y = 0; y < n_local; ++y) col_out[static_cast<std::size_t>(y)] = grid[static_cast<std::size_t>(y + 1) * w + n_local];
+        reqs.push_back(comm.irecv(col_in_e.data(), n_local, mvx::DOUBLE, east, 3));
+        reqs.push_back(comm.isend(col_out.data(), n_local, mvx::DOUBLE, east, 2));
+      }
+      comm.waitall(reqs);
+      if (west >= 0) {
+        for (int y = 0; y < n_local; ++y) grid[static_cast<std::size_t>(y + 1) * w] = col_in_w[static_cast<std::size_t>(y)];
+      }
+      if (east >= 0) {
+        for (int y = 0; y < n_local; ++y) grid[static_cast<std::size_t>(y + 1) * w + n_local + 1] = col_in_e[static_cast<std::size_t>(y)];
+      }
+
+      // Jacobi relaxation of the interior (and charge its virtual cost).
+      for (int y = 1; y <= n_local; ++y) {
+        for (int x = 1; x <= n_local; ++x) {
+          const std::size_t i = static_cast<std::size_t>(y) * w + static_cast<std::size_t>(x);
+          next[i] = 0.25 * (grid[i - 1] + grid[i + 1] + grid[i - static_cast<std::size_t>(w)] +
+                            grid[i + static_cast<std::size_t>(w)]);
+        }
+      }
+      comm.compute(sim::nanoseconds(2.2 * n_local * n_local));  // ~4 flops + loads per cell
+      std::swap(grid, next);
+      // Keep the driven boundary pinned.
+      if (cx == 0) {
+        for (int y = 0; y < w; ++y) grid[static_cast<std::size_t>(y) * w] = 100.0;
+      }
+    }
+    const double us = sim::to_us(comm.now() - t0) / steps;
+
+    // Global residual just to show collective use (and verify determinism).
+    double local = 0;
+    for (int y = 1; y <= n_local; ++y) {
+      for (int x = 1; x <= n_local; ++x) {
+        local += grid[static_cast<std::size_t>(y) * w + static_cast<std::size_t>(x)];
+      }
+    }
+    double global = 0;
+    comm.allreduce(&local, &global, 1, mvx::DOUBLE, mvx::Op::Sum);
+    if (comm.rank() == 0) {
+      result.us_per_step = us;
+      result.residual = global;
+    }
+  });
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("stencil_halo — 2-D Jacobi halo exchange across policies (2x2 grid of nodes)\n\n");
+  std::printf("%12s %18s %18s %14s\n", "tile", "policy", "us/step", "field sum");
+  for (int n_local : {256, 2048}) {  // 2 KiB vs 16 KiB halos (below/at threshold)
+    for (auto [name, cfg] :
+         {std::pair{"original", mvx::Config::original()},
+          std::pair{"EPC-4QP", mvx::Config::enhanced(4, mvx::Policy::EPC)},
+          std::pair{"striping-4QP", mvx::Config::enhanced(4, mvx::Policy::EvenStriping)},
+          std::pair{"rr-4QP", mvx::Config::enhanced(4, mvx::Policy::RoundRobin)}}) {
+      GridResult r = run_stencil(cfg, 2, 2, n_local, 20);
+      std::printf("%8dx%-4d %18s %18.2f %14.1f\n", n_local, n_local, name, r.us_per_step,
+                  r.residual);
+    }
+  }
+  std::printf(
+      "\nFinding (the paper's §6 future-work question): halo exchange moves only a\n"
+      "few KiB–16 KiB per neighbour per step, so it is latency- and compute-bound —\n"
+      "multi-rail scheduling policies barely separate, unlike the bandwidth-bound\n"
+      "alltoall/window patterns of the main evaluation.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Plain-text table / CSV emission for the figure-regeneration binaries.
+// Each bench prints one table whose rows are message sizes (or process
+// counts) and whose columns are the configurations a paper figure compares.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ib12x::harness {
+
+class Table {
+ public:
+  Table(std::string title, std::string row_header)
+      : title_(std::move(title)), row_header_(std::move(row_header)) {}
+
+  void add_column(std::string name) { columns_.push_back(std::move(name)); }
+
+  void add_row(std::string label, std::vector<double> values) {
+    rows_.push_back({std::move(label), std::move(values)});
+  }
+
+  /// Fixed-width human-readable table.
+  void print(std::FILE* out = stdout, int precision = 2) const;
+
+  /// Machine-readable CSV (same content).
+  void print_csv(std::FILE* out, int precision = 4) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] double value(std::size_t row, std::size_t col) const {
+    return rows_.at(row).values.at(col);
+  }
+  [[nodiscard]] const std::string& row_label(std::size_t row) const { return rows_.at(row).label; }
+
+ private:
+  struct Row {
+    std::string label;
+    std::vector<double> values;
+  };
+
+  std::string title_;
+  std::string row_header_;
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+};
+
+/// "1K", "64K", "1M" labels like the paper's figure axes.
+std::string size_label(std::int64_t bytes);
+
+/// Prints a `paper vs measured` check line used by EXPERIMENTS.md.
+void print_check(const char* what, double measured, double paper_lo, double paper_hi);
+
+}  // namespace ib12x::harness

@@ -1,0 +1,56 @@
+// Completion queue.  Supports both the polling interface real verbs offers
+// (used heavily by the tests) and an event-context callback that fires the
+// instant a CQE lands, which is how the MPI substrate's progress engine is
+// driven.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <stdexcept>
+
+#include "ib/types.hpp"
+
+namespace ib12x::ib {
+
+class CompletionQueue {
+ public:
+  explicit CompletionQueue(int capacity = 65536) : capacity_(capacity) {}
+
+  using Callback = std::function<void(const Wc&)>;
+
+  /// Installs a handler called (from event context) for every CQE at the
+  /// moment it arrives.  Handled CQEs still enter the poll queue unless the
+  /// handler returns having consumed it — we keep it simple: when a callback
+  /// is installed, CQEs are delivered to it *instead of* the poll queue.
+  void set_callback(Callback cb) { callback_ = std::move(cb); }
+
+  /// Model side: deliver a completion.
+  void push(const Wc& wc) {
+    if (callback_) {
+      callback_(wc);
+      return;
+    }
+    if (static_cast<int>(queue_.size()) >= capacity_) {
+      throw std::runtime_error("CompletionQueue overflow (capacity " + std::to_string(capacity_) + ")");
+    }
+    queue_.push_back(wc);
+  }
+
+  /// Non-blocking poll; returns false if no CQE is pending.
+  bool poll(Wc& out) {
+    if (queue_.empty()) return false;
+    out = queue_.front();
+    queue_.pop_front();
+    return true;
+  }
+
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  int capacity_;
+  std::deque<Wc> queue_;
+  Callback callback_;
+};
+
+}  // namespace ib12x::ib

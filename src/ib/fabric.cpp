@@ -1,0 +1,21 @@
+#include "ib/fabric.hpp"
+
+#include <stdexcept>
+
+namespace ib12x::ib {
+
+Hca& Fabric::add_hca(int node) {
+  hcas_.push_back(std::unique_ptr<Hca>(new Hca(*this, node, hca_params_)));
+  return *hcas_.back();
+}
+
+void Fabric::connect(QueuePair& a, QueuePair& b) {
+  if (a.connected() || b.connected()) {
+    throw std::logic_error("Fabric::connect: QP already connected");
+  }
+  if (&a == &b) throw std::logic_error("Fabric::connect: cannot self-connect a QP");
+  a.peer_ = &b;
+  b.peer_ = &a;
+}
+
+}  // namespace ib12x::ib

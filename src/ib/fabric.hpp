@@ -1,0 +1,47 @@
+// Fabric: the switched InfiniBand subnet plus the HCAs attached to it.
+// Owns the simulator reference, the global QP number space and the switch
+// forwarding parameters.  For the paper's testbed this is a single switch
+// with one 12x downlink per HCA port.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ib/hca.hpp"
+#include "ib/params.hpp"
+#include "sim/simulator.hpp"
+
+namespace ib12x::ib {
+
+class Fabric {
+ public:
+  Fabric(sim::Simulator& sim, HcaParams hca_params = {}, FabricParams fabric_params = {})
+      : sim_(sim), hca_params_(hca_params), fabric_params_(fabric_params) {}
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Attaches a new HCA for the given node id.
+  Hca& add_hca(int node);
+
+  /// Connects two QPs into an RC pair (both directions).
+  static void connect(QueuePair& a, QueuePair& b);
+
+  [[nodiscard]] sim::Simulator& simulator() const { return sim_; }
+  [[nodiscard]] const HcaParams& hca_params() const { return hca_params_; }
+  [[nodiscard]] const FabricParams& fabric_params() const { return fabric_params_; }
+  [[nodiscard]] int hca_count() const { return static_cast<int>(hcas_.size()); }
+  [[nodiscard]] Hca& hca(int i) { return *hcas_.at(static_cast<std::size_t>(i)); }
+
+  QpNum next_qp_num() { return next_qp_num_++; }
+
+ private:
+  sim::Simulator& sim_;
+  HcaParams hca_params_;
+  FabricParams fabric_params_;
+  std::vector<std::unique_ptr<Hca>> hcas_;
+  QpNum next_qp_num_ = 1;
+};
+
+}  // namespace ib12x::ib

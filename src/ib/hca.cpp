@@ -1,0 +1,338 @@
+#include "ib/hca.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "ib/fabric.hpp"
+#include "sim/log.hpp"
+
+namespace ib12x::ib {
+
+// ---------------------------------------------------------------- SRQ / QP
+
+void SharedReceiveQueue::post(const RecvWr& wr) {
+  if (static_cast<int>(queue_.size()) >= capacity_) {
+    throw std::runtime_error("SharedReceiveQueue overflow");
+  }
+  queue_.push_back(wr);
+}
+
+bool SharedReceiveQueue::pop(RecvWr& out) {
+  if (queue_.empty()) return false;
+  out = queue_.front();
+  queue_.pop_front();
+  return true;
+}
+
+void QueuePair::post_send(const SendWr& wr) {
+  if (peer_ == nullptr) throw std::logic_error("QueuePair::post_send: QP not connected");
+  if (static_cast<int>(sq_.size()) >= port_->hca().params().max_send_wqes) {
+    throw std::runtime_error("QueuePair::post_send: send queue full (qp " + std::to_string(num_) + ")");
+  }
+  if (wr.length > 0 && wr.src == nullptr) {
+    throw std::logic_error("QueuePair::post_send: null source with non-zero length");
+  }
+  sq_.push_back(wr);
+  ++send_wqes_posted_;
+  if (!scheduled_) port_->notify_ready(this);
+}
+
+void QueuePair::post_recv(const RecvWr& wr) {
+  if (srq_ != nullptr) throw std::logic_error("QueuePair::post_recv: QP uses an SRQ");
+  if (static_cast<int>(rq_.size()) >= port_->hca().params().max_recv_wqes) {
+    throw std::runtime_error("QueuePair::post_recv: receive queue full");
+  }
+  rq_.push_back(wr);
+}
+
+RecvWr QueuePair::take_recv_wqe() {
+  RecvWr wr;
+  if (srq_ != nullptr) {
+    if (!srq_->pop(wr)) {
+      throw std::runtime_error("QP " + std::to_string(num_) + ": inbound message with empty SRQ (RNR)");
+    }
+    return wr;
+  }
+  if (rq_.empty()) {
+    throw std::runtime_error("QP " + std::to_string(num_) + ": inbound message with empty RQ (RNR)");
+  }
+  wr = rq_.front();
+  rq_.pop_front();
+  return wr;
+}
+
+// --------------------------------------------------------------------- Port
+
+Port::Port(Hca& hca, int index) : hca_(&hca), index_(index) {
+  const HcaParams& p = hca.params();
+  std::string base = "hca" + std::to_string(hca.node()) + ".p" + std::to_string(index);
+  link_tx_ = sim::BandwidthServer(base + ".link_tx", p.link_rate_gbps);
+  link_rx_ = sim::BandwidthServer(base + ".link_rx", hca.fabric().fabric_params().downlink_rate_gbps);
+  for (int i = 0; i < p.send_engines_per_port; ++i) {
+    send_engines_.emplace_back(base + ".se" + std::to_string(i), p.engine_rate_gbps);
+  }
+  for (int i = 0; i < p.recv_engines_per_port; ++i) {
+    recv_engines_.emplace_back(base + ".re" + std::to_string(i), p.engine_rate_gbps);
+  }
+  engine_busy_.assign(send_engines_.size(), false);
+}
+
+void Port::notify_ready(QueuePair* qp) {
+  qp->scheduled_ = true;
+  ready_.push_back(qp);
+  try_dispatch();
+}
+
+void Port::try_dispatch() {
+  for (int eng = 0; eng < static_cast<int>(send_engines_.size()) && !ready_.empty(); ++eng) {
+    if (engine_busy_[static_cast<std::size_t>(eng)]) continue;
+    QueuePair* qp = ready_.front();
+    ready_.pop_front();
+    engine_busy_[static_cast<std::size_t>(eng)] = true;
+    service(qp, eng);
+  }
+}
+
+void Port::engine_done(int eng, QueuePair* qp) {
+  engine_busy_[static_cast<std::size_t>(eng)] = false;
+  if (!qp->sq_.empty()) {
+    // Round-robin fairness: a QP with more work re-enters at the back.
+    ready_.push_back(qp);
+  } else {
+    qp->scheduled_ = false;
+  }
+  try_dispatch();
+}
+
+void Port::service(QueuePair* qp, int eng) {
+  sim::Simulator& sim = hca_->simulator();
+  const HcaParams& P = hca_->params();
+  const FabricParams& F = hca_->fabric().fabric_params();
+  const sim::Time now = sim.now();
+
+  SendWr wr = qp->sq_.front();
+  qp->sq_.pop_front();
+
+  QueuePair* dst = qp->peer_;
+  Port& dport = *dst->port_;
+  Hca& dhca = *dport.hca_;
+
+  if (wr.length > 0) hca_->mem().check_lkey(wr.lkey, wr.src, wr.length);
+
+  auto& engine = send_engines_[static_cast<std::size_t>(eng)];
+  auto& rengine = dport.recv_engines_[static_cast<std::size_t>(dst->recv_engine_idx_)];
+
+  // Pipeline model.  Each bandwidth stage is a FIFO next-free-time server
+  // that carries the whole message as one contiguous reservation at its own
+  // rate, so shared stages (bus, links) pack concurrent messages back to
+  // back and aggregate bandwidth comes out right.  Crucially, every stage
+  // reserves *at the simulated time its first data arrives* (via a chained
+  // event), never with a far-future earliest-start — eager reservation would
+  // punch unusable holes into the shared servers and serialize unrelated
+  // traffic.  A running `last_byte` bound models starvation by slower
+  // upstream stages: stage k cannot finish before the upstream last byte
+  // plus one cut-through segment of its own service.
+  const std::int64_t bytes = wr.length;
+  const std::int64_t seg = std::min<std::int64_t>(std::max<std::int64_t>(bytes, 0),
+                                                  P.model_segment_bytes);
+  std::int64_t pkts = (bytes + P.mtu_bytes - 1) / P.mtu_bytes;
+  if (pkts == 0) pkts = 1;  // zero-length messages still emit one packet
+  const std::int64_t wire_bytes = bytes + pkts * P.pkt_header_bytes;
+  // Wire bytes corresponding to one cut-through segment.
+  const std::int64_t seg_pkts = (seg + P.mtu_bytes - 1) / P.mtu_bytes;
+  const std::int64_t seg_wire = seg + (seg_pkts == 0 ? 1 : seg_pkts) * P.pkt_header_bytes;
+
+  const sim::Time t_bus_seg = sim::transfer_time(seg, hca_->bus().dir_rate());
+  const sim::Time t_eng_seg = sim::transfer_time(seg, P.engine_rate_gbps);
+  const sim::Time t_tx_seg = sim::transfer_time(seg_wire, P.link_rate_gbps);
+  const sim::Time t_dl_seg = sim::transfer_time(seg_wire, F.downlink_rate_gbps);
+  const sim::Time t_re_seg = sim::transfer_time(seg, P.engine_rate_gbps);
+  const sim::Time t_dbus_seg = sim::transfer_time(seg, dhca.bus().dir_rate());
+
+  ++wqes_serviced_;
+  bytes_tx_ += wr.length;
+  qp->bytes_sent_ += wr.length;
+  const QpNum src_qp_num = qp->num_;
+
+  // Single-packet messages (all MPI control traffic — RTS/CTS/FIN — and tiny
+  // eager payloads) take a latency-only fast path through the shared pipes.
+  // Bus and link arbitration on the real hardware is packet-granular, so a
+  // 64-byte packet never waits behind a whole megabyte DMA the way a
+  // message-granular FIFO reservation would make it; its own bandwidth is
+  // negligible.  The engine is still held (WQE fetch + transfer), keeping
+  // per-QP service order and engine-count limits honest.
+  if (bytes <= P.mtu_bytes) {
+    auto fetch_small = engine.reserve_time(now, now, P.wqe_fetch + t_eng_seg);
+    const sim::Time eng_done = fetch_small.finish;
+    sim.at(eng_done, [this, eng, qp] { engine_done(eng, qp); });
+
+    const sim::Time delivered = eng_done + t_bus_seg + t_tx_seg + F.wire_latency +
+                                F.switch_latency + t_dl_seg + F.wire_latency + t_re_seg +
+                                t_dbus_seg;
+    sim.at(delivered, [&dport, dst, wr, src_qp_num] { dport.deliver(dst, wr, src_qp_num); });
+
+    if (wr.signaled) {
+      const sim::Time cqe_time =
+          delivered + P.ack_gen + F.wire_latency + F.switch_latency + F.wire_latency +
+          P.cqe_delay + sim::transfer_time(P.cqe_bus_bytes, hca_->bus().dir_rate());
+      sim.at(cqe_time, [qp, wr, cqe_time] {
+        Wc wc;
+        wc.wr_id = wr.wr_id;
+        wc.opcode =
+            wr.opcode == Opcode::Send ? WcOpcode::SendComplete : WcOpcode::RdmaWriteComplete;
+        wc.byte_len = wr.length;
+        wc.qp_num = qp->num();
+        wc.timestamp = cqe_time;
+        qp->scq_->push(wc);
+      });
+    }
+    return;
+  }
+
+  // Stage 1 (now): WQE fetch on the engine, then host → HCA over GX+.
+  auto fetch = engine.reserve_time(now, now, P.wqe_fetch);
+  auto s_bus = hca_->bus().reserve(BusDir::ToHca, now, fetch.finish, bytes);
+  const sim::Time bus_last = s_bus.finish;
+
+  IB12X_TRACE(now, "qp%u wr%llu len=%u eng%d: bus[%.3f,%.3f]us", qp->num_,
+              static_cast<unsigned long long>(wr.wr_id), wr.length, eng,
+              sim::to_us(s_bus.start), sim::to_us(s_bus.finish));
+
+  // Stage 2 (first segment on-chip): send DMA engine.
+  sim.at(s_bus.start + t_bus_seg, [=, this, &sim, &engine, &rengine, &dport, &dhca] {
+    auto s_eng = engine.reserve_bytes(sim.now(), sim.now(), bytes);
+    const sim::Time eng_last = std::max(s_eng.finish, bus_last + t_eng_seg);
+    // The engine frees once the last segment has left it (including any
+    // stretch from bus starvation).
+    sim.at(eng_last, [this, eng, qp] { engine_done(eng, qp); });
+
+    // Stage 3: port uplink to the switch (wire framing overhead applies).
+    sim.at(s_eng.start + t_eng_seg, [=, this, &sim, &rengine, &dport, &dhca] {
+      auto s_tx = link_tx_.reserve_bytes(sim.now(), sim.now(), wire_bytes);
+      const sim::Time tx_last = std::max(s_tx.finish, eng_last + t_tx_seg);
+
+      // Stage 4: switch egress / downlink towards the destination port.
+      sim.at(s_tx.start + t_tx_seg + F.wire_latency + F.switch_latency,
+             [=, this, &sim, &rengine, &dport, &dhca] {
+        auto s_dl = dport.link_rx_.reserve_bytes(sim.now(), sim.now(), wire_bytes);
+        const sim::Time dl_last =
+            std::max(s_dl.finish, tx_last + F.wire_latency + F.switch_latency + t_dl_seg);
+
+        // Stage 5: receive DMA engine at the destination.
+        sim.at(s_dl.start + t_dl_seg + F.wire_latency, [=, this, &sim, &rengine, &dport, &dhca] {
+          auto s_re = rengine.reserve_bytes(sim.now(), sim.now(), bytes);
+          const sim::Time re_last = std::max(s_re.finish, dl_last + F.wire_latency + t_re_seg);
+
+          // Stage 6: HCA → host over the destination GX+ bus.
+          sim.at(s_re.start + t_re_seg, [=, this, &sim, &dport, &dhca] {
+            auto s_dbus = dhca.bus().reserve(BusDir::ToHost, sim.now(), sim.now(), bytes);
+            const sim::Time delivered = std::max(s_dbus.finish, re_last + t_dbus_seg);
+
+            // Data visible in responder host memory → deliver (copy + CQE).
+            sim.at(delivered, [&dport, dst, wr, src_qp_num] {
+              dport.deliver(dst, wr, src_qp_num);
+            });
+
+            // RC acknowledgment: the responder HCA acks once the last packet
+            // is placed (a requester CQE therefore implies remote data is
+            // visible — the invariant rendezvous FIN relies on).  The ACK is
+            // one packet and rides the fast path (packet-granular link
+            // arbitration), like the small-message branch above.
+            if (!wr.signaled) return;
+            const sim::Time cqe_time =
+                delivered + P.ack_gen +
+                sim::transfer_time(P.ack_wire_bytes, P.link_rate_gbps) + F.wire_latency +
+                F.switch_latency + F.wire_latency + P.cqe_delay +
+                sim::transfer_time(P.cqe_bus_bytes, hca_->bus().dir_rate());
+            sim.at(cqe_time, [qp, wr, cqe_time] {
+              Wc wc;
+              wc.wr_id = wr.wr_id;
+              wc.opcode = wr.opcode == Opcode::Send ? WcOpcode::SendComplete
+                                                    : WcOpcode::RdmaWriteComplete;
+              wc.byte_len = wr.length;
+              wc.qp_num = qp->num();
+              wc.timestamp = cqe_time;
+              qp->scq_->push(wc);
+            });
+          });
+        });
+      });
+    });
+  });
+}
+
+void Port::deliver(QueuePair* dst_qp, const SendWr& wr, QpNum src_qp_num) {
+  sim::Simulator& sim = hca_->simulator();
+  const HcaParams& P = hca_->params();
+  const sim::Time now = sim.now();
+
+  const bool consumes_recv = wr.opcode == Opcode::Send || wr.opcode == Opcode::RdmaWriteWithImm;
+
+  if (wr.opcode == Opcode::RdmaWrite || wr.opcode == Opcode::RdmaWriteWithImm) {
+    if (wr.length > 0) {
+      std::byte* dstp = hca_->mem().translate_rkey(wr.rkey, wr.remote_addr, wr.length);
+      std::memcpy(dstp, wr.src, wr.length);
+    }
+    if (wr.delivered_cb) wr.delivered_cb();
+    if (!consumes_recv) return;  // plain RDMA write: invisible to the responder
+  }
+
+  RecvWr rwr = dst_qp->take_recv_wqe();
+  if (wr.opcode == Opcode::Send) {
+    if (wr.length > rwr.length) {
+      throw std::runtime_error("QP " + std::to_string(dst_qp->num()) +
+                               ": inbound Send larger than posted receive buffer");
+    }
+    if (wr.length > 0) {
+      hca_->mem().check_lkey(rwr.lkey, rwr.dst, wr.length);
+      std::memcpy(rwr.dst, wr.src, wr.length);
+    }
+  }
+
+  // CQE writeback is one 64-byte bus packet: like ACKs and control packets
+  // it interleaves at packet granularity and must not queue behind bulk
+  // message-granular bus reservations (that would delay receive-buffer
+  // recycling past the sender's credit return and fabricate RNRs).
+  const sim::Time cqe_time =
+      now + P.cqe_delay + sim::transfer_time(P.cqe_bus_bytes, hca_->bus().dir_rate());
+  Wc wc;
+  wc.wr_id = rwr.wr_id;
+  wc.opcode = WcOpcode::RecvComplete;
+  wc.byte_len = wr.length;
+  wc.qp_num = dst_qp->num();
+  wc.src_qp = src_qp_num;
+  wc.has_imm = wr.opcode == Opcode::RdmaWriteWithImm;
+  wc.imm_data = wc.has_imm ? wr.imm_data : 0;
+  wc.timestamp = cqe_time;
+  sim.at(cqe_time, [dst_qp, wc] { dst_qp->rcq_->push(wc); });
+}
+
+// ---------------------------------------------------------------------- Hca
+
+Hca::Hca(Fabric& fabric, int node, const HcaParams& params)
+    : fabric_(&fabric), node_(node), params_(params),
+      bus_(params.bus_dir_rate_gbps, params.bus_core_rate_gbps) {
+  for (int i = 0; i < params.ports; ++i) {
+    ports_.push_back(std::unique_ptr<Port>(new Port(*this, i)));
+  }
+}
+
+sim::Simulator& Hca::simulator() const { return fabric_->simulator(); }
+
+QueuePair& Hca::create_qp(int port_idx, CompletionQueue& scq, CompletionQueue& rcq,
+                          SharedReceiveQueue* srq) {
+  Port& p = port(port_idx);
+  const int recv_engine = p.next_recv_engine_++ % static_cast<int>(p.recv_engines_.size());
+  qps_.push_back(std::unique_ptr<QueuePair>(
+      new QueuePair(p, fabric_->next_qp_num(), scq, rcq, srq, recv_engine)));
+  return *qps_.back();
+}
+
+SharedReceiveQueue& Hca::create_srq() {
+  srqs_.push_back(std::make_unique<SharedReceiveQueue>(params_.max_recv_wqes));
+  return *srqs_.back();
+}
+
+}  // namespace ib12x::ib

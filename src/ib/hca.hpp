@@ -1,0 +1,178 @@
+// The IBM 12x dual-port HCA model: GX+ bus attachment, per-port send/recv
+// DMA engine pools, the hardware send scheduler (round-robin over ready QPs),
+// and reliable-connection queue pairs.
+//
+// Timing model per send WQE (see DESIGN.md §3/§5): once the scheduler hands
+// a WQE to a free send engine, the message flows in `model_segment_bytes`
+// store-and-forward segments through
+//
+//   host bus (GX+) → send engine → port link → wire → switch → downlink
+//   → recv engine → remote bus → delivery
+//
+// with every stage a FIFO next-free-time server, so segments of one message
+// pipeline across stages and concurrent messages contend realistically.
+// The responder ACKs after the last packet (RC), consuming reverse link
+// bandwidth; the requester CQE is generated from the ACK.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ib/cq.hpp"
+#include "ib/gx_bus.hpp"
+#include "ib/mem.hpp"
+#include "ib/params.hpp"
+#include "ib/types.hpp"
+#include "sim/server.hpp"
+#include "sim/simulator.hpp"
+
+namespace ib12x::ib {
+
+class Hca;
+class Port;
+class Fabric;
+
+/// Receive queue shared between QPs on one HCA (verbs SRQ).
+class SharedReceiveQueue {
+ public:
+  explicit SharedReceiveQueue(int capacity) : capacity_(capacity) {}
+
+  void post(const RecvWr& wr);
+  bool pop(RecvWr& out);
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  int capacity_;
+  std::deque<RecvWr> queue_;
+};
+
+/// Reliable-connection queue pair.  Created unconnected; Fabric::connect
+/// pairs two of them.
+class QueuePair {
+ public:
+  void post_send(const SendWr& wr);
+  void post_recv(const RecvWr& wr);
+
+  [[nodiscard]] QpNum num() const { return num_; }
+  [[nodiscard]] Port& port() const { return *port_; }
+  [[nodiscard]] QueuePair* peer() const { return peer_; }
+  [[nodiscard]] bool connected() const { return peer_ != nullptr; }
+  [[nodiscard]] CompletionQueue& send_cq() const { return *scq_; }
+  [[nodiscard]] CompletionQueue& recv_cq() const { return *rcq_; }
+
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t send_wqes_posted() const { return send_wqes_posted_; }
+  [[nodiscard]] std::size_t send_queue_depth() const { return sq_.size(); }
+
+ private:
+  friend class Hca;
+  friend class Port;
+  friend class Fabric;
+
+  QueuePair(Port& port, QpNum num, CompletionQueue& scq, CompletionQueue& rcq,
+            SharedReceiveQueue* srq, int recv_engine_idx)
+      : port_(&port), scq_(&scq), rcq_(&rcq), srq_(srq), num_(num),
+        recv_engine_idx_(recv_engine_idx) {}
+
+  /// Takes a receive WQE for an inbound message (QP RQ, or SRQ if attached).
+  RecvWr take_recv_wqe();
+
+  Port* port_;
+  CompletionQueue* scq_;
+  CompletionQueue* rcq_;
+  SharedReceiveQueue* srq_;
+  QpNum num_;
+  int recv_engine_idx_;
+  QueuePair* peer_ = nullptr;
+
+  std::deque<SendWr> sq_;
+  std::deque<RecvWr> rq_;
+  /// True while the QP sits in the port's ready queue or an engine services it.
+  bool scheduled_ = false;
+
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t send_wqes_posted_ = 0;
+};
+
+/// One 12x port: link servers, DMA engine pools, hardware send scheduler.
+class Port {
+ public:
+  [[nodiscard]] Hca& hca() const { return *hca_; }
+  [[nodiscard]] int index() const { return index_; }
+
+  [[nodiscard]] int send_engine_count() const { return static_cast<int>(send_engines_.size()); }
+  [[nodiscard]] sim::Time send_engine_busy(int i) const { return send_engines_[i].busy_time(); }
+  [[nodiscard]] std::uint64_t wqes_serviced() const { return wqes_serviced_; }
+  [[nodiscard]] std::uint64_t bytes_tx() const { return bytes_tx_; }
+
+ private:
+  friend class Hca;
+  friend class QueuePair;
+  friend class Fabric;
+
+  Port(Hca& hca, int index);
+
+  /// QP transitioned empty→non-empty: enter the scheduler.
+  void notify_ready(QueuePair* qp);
+  /// Assigns ready QPs to free engines.
+  void try_dispatch();
+  /// Runs the pipeline model for qp's head WQE on engine `eng`.
+  void service(QueuePair* qp, int eng);
+  void engine_done(int eng, QueuePair* qp);
+
+  /// Inbound delivery (runs on the destination port, from event context).
+  void deliver(QueuePair* dst_qp, const SendWr& wr, QpNum src_qp_num);
+
+  Hca* hca_;
+  int index_;
+
+  sim::BandwidthServer link_tx_;  ///< port → switch
+  sim::BandwidthServer link_rx_;  ///< switch → port (egress of the switch)
+  std::vector<sim::BandwidthServer> send_engines_;
+  std::vector<sim::BandwidthServer> recv_engines_;
+  std::vector<bool> engine_busy_;
+  std::deque<QueuePair*> ready_;
+
+  std::uint64_t wqes_serviced_ = 0;
+  std::uint64_t bytes_tx_ = 0;
+  int next_recv_engine_ = 0;
+};
+
+class Hca {
+ public:
+  [[nodiscard]] int node() const { return node_; }
+  [[nodiscard]] const HcaParams& params() const { return params_; }
+  [[nodiscard]] Port& port(int i) { return *ports_.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] int port_count() const { return static_cast<int>(ports_.size()); }
+  [[nodiscard]] MemoryDomain& mem() { return mem_; }
+  [[nodiscard]] GxBus& bus() { return bus_; }
+  [[nodiscard]] Fabric& fabric() const { return *fabric_; }
+  [[nodiscard]] sim::Simulator& simulator() const;
+
+  /// Creates an RC QP on port `port_idx`.  If `srq` is non-null the QP takes
+  /// inbound receive WQEs from it instead of its own RQ.
+  QueuePair& create_qp(int port_idx, CompletionQueue& scq, CompletionQueue& rcq,
+                       SharedReceiveQueue* srq = nullptr);
+
+  SharedReceiveQueue& create_srq();
+
+ private:
+  friend class Fabric;
+  friend class Port;
+
+  Hca(Fabric& fabric, int node, const HcaParams& params);
+
+  Fabric* fabric_;
+  int node_;
+  HcaParams params_;
+  GxBus bus_;
+  MemoryDomain mem_;
+  std::vector<std::unique_ptr<Port>> ports_;
+  std::vector<std::unique_ptr<QueuePair>> qps_;
+  std::vector<std::unique_ptr<SharedReceiveQueue>> srqs_;
+};
+
+}  // namespace ib12x::ib

@@ -1,0 +1,55 @@
+#include "ib/mem.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace ib12x::ib {
+
+MemoryRegion MemoryDomain::register_memory(void* buf, std::size_t len) {
+  MemoryRegion mr;
+  mr.addr = reinterpret_cast<std::uint64_t>(buf);
+  mr.length = len;
+  mr.lkey = next_key_;
+  mr.rkey = next_key_;
+  ++next_key_;
+  by_rkey_[mr.rkey] = mr;
+  by_lkey_[mr.lkey] = mr;
+  return mr;
+}
+
+const MemoryRegion& MemoryDomain::register_memory_const(const void* buf, std::size_t len) {
+  last_ = register_memory(const_cast<void*>(buf), len);
+  return last_;
+}
+
+void MemoryDomain::deregister(const MemoryRegion& mr) {
+  by_rkey_.erase(mr.rkey);
+  by_lkey_.erase(mr.lkey);
+}
+
+std::byte* MemoryDomain::translate_rkey(RKey rkey, std::uint64_t addr, std::uint64_t len) const {
+  auto it = by_rkey_.find(rkey);
+  if (it == by_rkey_.end()) {
+    throw std::runtime_error("MemoryDomain: remote access with unknown rkey " + std::to_string(rkey));
+  }
+  const MemoryRegion& mr = it->second;
+  if (addr < mr.addr || addr + len > mr.addr + mr.length) {
+    throw std::runtime_error("MemoryDomain: remote access out of bounds (rkey " + std::to_string(rkey) +
+                             ", addr " + std::to_string(addr) + ", len " + std::to_string(len) + ")");
+  }
+  return reinterpret_cast<std::byte*>(addr);
+}
+
+void MemoryDomain::check_lkey(LKey lkey, const void* addr, std::uint64_t len) const {
+  auto it = by_lkey_.find(lkey);
+  if (it == by_lkey_.end()) {
+    throw std::runtime_error("MemoryDomain: local access with unknown lkey " + std::to_string(lkey));
+  }
+  const MemoryRegion& mr = it->second;
+  auto a = reinterpret_cast<std::uint64_t>(addr);
+  if (a < mr.addr || a + len > mr.addr + mr.length) {
+    throw std::runtime_error("MemoryDomain: local access out of bounds (lkey " + std::to_string(lkey) + ")");
+  }
+}
+
+}  // namespace ib12x::ib

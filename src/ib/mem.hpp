@@ -1,0 +1,47 @@
+// Memory registration.  A MemoryDomain plays the role of a protection
+// domain's MR table: RDMA operations must name a registered region by rkey
+// and stay within its bounds, which catches a whole class of MPI-layer bugs
+// (stale CTS, wrong stripe offsets) at the point of damage.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+
+#include "ib/types.hpp"
+
+namespace ib12x::ib {
+
+struct MemoryRegion {
+  std::uint64_t addr = 0;  ///< start address (host pointer value)
+  std::uint64_t length = 0;
+  LKey lkey = 0;
+  RKey rkey = 0;
+};
+
+class MemoryDomain {
+ public:
+  /// Registers [buf, buf+len).  Overlapping registrations are allowed, as in
+  /// real verbs.
+  MemoryRegion register_memory(void* buf, std::size_t len);
+  const MemoryRegion& register_memory_const(const void* buf, std::size_t len);
+
+  void deregister(const MemoryRegion& mr);
+
+  /// Resolves an rkey-qualified remote access; throws std::runtime_error on
+  /// unknown rkey or out-of-bounds access.
+  std::byte* translate_rkey(RKey rkey, std::uint64_t addr, std::uint64_t len) const;
+
+  /// Validates a local-key access the same way.
+  void check_lkey(LKey lkey, const void* addr, std::uint64_t len) const;
+
+  [[nodiscard]] std::size_t region_count() const { return by_rkey_.size(); }
+
+ private:
+  std::map<RKey, MemoryRegion> by_rkey_;
+  std::map<LKey, MemoryRegion> by_lkey_;
+  std::uint32_t next_key_ = 1;
+  MemoryRegion last_;
+};
+
+}  // namespace ib12x::ib

@@ -1,0 +1,73 @@
+// Calibration constants for the IBM 12x dual-port HCA model.
+//
+// Sources: the paper's §2.2 hardware description (GX+ @ 950 MHz ⇒ 7.6 GB/s
+// theoretical; 12x ⇒ 3 GB/s/direction/port; multiple send/recv DMA engines
+// per port serviced round-robin over ready QPs) and its measured envelope
+// (original 1 QP/port: 1661 MB/s uni / ~3.1 GB/s bi; 4 QP/port EPC:
+// 2745 MB/s uni / 5362 MB/s bi).  See DESIGN.md §5.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace ib12x::ib {
+
+struct HcaParams {
+  int ports = 2;
+
+  /// DMA engine pools.  The paper never publishes the exact count; 4 per
+  /// direction per port makes a single engine the 1-QP bottleneck and four
+  /// of them oversubscribe the 12x link, which is exactly the regime the
+  /// measurements show.
+  int send_engines_per_port = 4;
+  int recv_engines_per_port = 4;
+
+  /// Peak of one send/recv DMA engine, GB/s.  1.70 reproduces the 1661 MB/s
+  /// single-rail uni-bandwidth after per-WQE overheads.
+  double engine_rate_gbps = 1.70;
+
+  /// 12x link, GB/s per direction (payload rate is shaved further by
+  /// per-MTU packet headers, see pkt_header_bytes).
+  double link_rate_gbps = 3.0;
+
+  /// GX+ bus: per-direction and combined effective caps, GB/s.  The
+  /// combined cap (DMA setup turnaround, CQE/doorbell traffic) is what
+  /// limits bi-directional traffic to ~5.4 GB/s on the real machine.
+  double bus_dir_rate_gbps = 2.95;
+  double bus_core_rate_gbps = 5.5;
+
+  std::int64_t mtu_bytes = 2048;
+  std::int64_t pkt_header_bytes = 66;  ///< LRH+BTH+iCRC+VCRC per MTU packet
+
+  /// HCA-side cost to fetch + translate one WQE once an engine picks it up.
+  sim::Time wqe_fetch = sim::nanoseconds(250);
+  /// Responder-side ACK generation delay after the last packet lands.
+  sim::Time ack_gen = sim::nanoseconds(150);
+  /// CQE writeback delay (HCA internal) before the host can see it.
+  sim::Time cqe_delay = sim::nanoseconds(200);
+
+  std::int64_t ack_wire_bytes = 78;  ///< ACK packet incl. headers
+  std::int64_t cqe_bus_bytes = 64;   ///< CQE DMA over the bus
+
+  /// Pipeline-modelling granularity: stage k+1 of the
+  /// bus→engine→link→switch→link→engine→bus chain may start once stage k has
+  /// moved one segment of this size (cut-through), and the final segment
+  /// drains the chain at this granularity.  A couple of MTUs approximates
+  /// the HCA's packet-level store-and-forward without per-packet events.
+  std::int64_t model_segment_bytes = 4 * 1024;
+
+  int max_send_wqes = 1024;
+  int max_recv_wqes = 8192;
+};
+
+struct FabricParams {
+  /// One-way cable + SerDes latency per hop (node↔switch).
+  sim::Time wire_latency = sim::nanoseconds(500);
+  /// Switch forwarding latency (cut-through era, ~200 ns).
+  sim::Time switch_latency = sim::nanoseconds(200);
+  /// Switch egress (downlink) rate towards each HCA port, GB/s/direction.
+  double downlink_rate_gbps = 3.0;
+};
+
+}  // namespace ib12x::ib

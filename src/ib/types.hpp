@@ -1,0 +1,71 @@
+// Work-request / completion types for the verbs-like model API.
+//
+// Shapes deliberately mirror OpenIB Gen2 (ibv_send_wr / ibv_recv_wr / ibv_wc)
+// so the MPI substrate above reads like code written against real verbs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "sim/time.hpp"
+
+namespace ib12x::ib {
+
+using QpNum = std::uint32_t;
+using LKey = std::uint32_t;
+using RKey = std::uint32_t;
+
+enum class Opcode : std::uint8_t {
+  Send,              ///< channel semantics; consumes a receive WQE at the responder
+  RdmaWrite,         ///< memory semantics; invisible to the responder
+  RdmaWriteWithImm,  ///< RDMA write that additionally consumes a receive WQE
+};
+
+struct SendWr {
+  std::uint64_t wr_id = 0;
+  Opcode opcode = Opcode::Send;
+  const std::byte* src = nullptr;  ///< registered local buffer
+  std::uint32_t length = 0;
+  LKey lkey = 0;
+  // RDMA only:
+  std::uint64_t remote_addr = 0;
+  RKey rkey = 0;
+  // RdmaWriteWithImm only:
+  std::uint32_t imm_data = 0;
+  /// Unsignaled sends produce no completion (used for credit piggybacking).
+  bool signaled = true;
+  /// Optional simulator affordance for RDMA writes: invoked (in event
+  /// context) the instant the data is placed in remote host memory.  Models
+  /// a remote polling loop noticing the write's tail flag — real verbs has
+  /// no such callback, but a polled RDMA fast-path channel behaves exactly
+  /// this way and simulating the poll loop itself would add nothing.
+  std::function<void()> delivered_cb;
+};
+
+struct RecvWr {
+  std::uint64_t wr_id = 0;
+  std::byte* dst = nullptr;
+  std::uint32_t length = 0;
+  LKey lkey = 0;
+};
+
+enum class WcOpcode : std::uint8_t {
+  SendComplete,       ///< Send WQE acknowledged by the responder
+  RdmaWriteComplete,  ///< RDMA write acknowledged (remote memory updated)
+  RecvComplete,       ///< inbound Send (or write-with-imm) landed
+};
+
+/// Work completion.
+struct Wc {
+  std::uint64_t wr_id = 0;
+  WcOpcode opcode = WcOpcode::SendComplete;
+  std::uint32_t byte_len = 0;
+  QpNum qp_num = 0;      ///< local QP this completion belongs to
+  QpNum src_qp = 0;      ///< remote QP (receive completions)
+  bool has_imm = false;
+  std::uint32_t imm_data = 0;
+  sim::Time timestamp = 0;
+};
+
+}  // namespace ib12x::ib

@@ -1,0 +1,10 @@
+// Umbrella header: the complete verbs-like API of the IBM 12x HCA model.
+#pragma once
+
+#include "ib/cq.hpp"        // IWYU pragma: export
+#include "ib/fabric.hpp"    // IWYU pragma: export
+#include "ib/gx_bus.hpp"    // IWYU pragma: export
+#include "ib/hca.hpp"       // IWYU pragma: export
+#include "ib/mem.hpp"       // IWYU pragma: export
+#include "ib/params.hpp"    // IWYU pragma: export
+#include "ib/types.hpp"     // IWYU pragma: export

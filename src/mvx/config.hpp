@@ -1,0 +1,101 @@
+// Cluster shape and MPI-substrate tuning knobs.
+//
+// Defaults model the paper's testbed: 2 IBM Power6 nodes with one IBM 12x
+// dual-port HCA each, one GX+ bus, one port in use, and MVAPICH-era software
+// costs.  The "original MVAPICH" baseline of the paper is qps_per_port = 1
+// with Policy::Binding.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ib/params.hpp"
+#include "mvx/policy.hpp"
+#include "sim/time.hpp"
+
+namespace ib12x::mvx {
+
+struct ClusterSpec {
+  int nodes = 2;
+  int procs_per_node = 1;
+
+  [[nodiscard]] int total_ranks() const { return nodes * procs_per_node; }
+};
+
+struct Config {
+  // ---- rail layout -------------------------------------------------------
+  int hcas_per_node = 1;
+  int ports_per_hca = 1;  ///< the paper's evaluation uses one port
+  int qps_per_port = 1;
+  Policy policy = Policy::Binding;
+
+  /// Rails per peer pair.
+  [[nodiscard]] int rails() const { return hcas_per_node * ports_per_hca * qps_per_port; }
+
+  /// WeightedStriping: per-rail stripe weights (empty = equal).  Shorter
+  /// vectors repeat cyclically over the rails.
+  std::vector<double> rail_weights;
+
+  /// Take inbound eager buffers from one shared receive queue per HCA
+  /// instead of per-QP receive queues (same protocol, less buffer memory —
+  /// the SRQ mechanism of §2.1).
+  bool use_srq = false;
+
+  /// MVAPICH's adaptive RDMA fast path: small eager messages are RDMA-written
+  /// into a per-peer ring the receiver polls, bypassing the responder's
+  /// receive-descriptor and CQE processing.
+  bool use_rdma_fast_path = false;
+  int fast_path_slots = 32;            ///< ring depth per peer direction
+  std::int64_t fast_path_max = 1024;   ///< payload cutoff for the fast path
+  sim::Time poll_delay = sim::nanoseconds(100);  ///< poll-loop discovery granularity
+
+  // ---- collective algorithm selection (MVAPICH-era tuning) ---------------
+  enum class AlltoallAlgo { Auto, Pairwise, Bruck };
+  enum class AllreduceAlgo { Auto, RecursiveDoubling, ReduceBcast, Rabenseifner };
+  AlltoallAlgo alltoall_algo = AlltoallAlgo::Auto;
+  AllreduceAlgo allreduce_algo = AllreduceAlgo::Auto;
+  /// Auto selection crossovers (measured in bench/ablation_coll_algos):
+  /// Bruck for alltoall blocks below bruck_threshold; Rabenseifner for
+  /// allreduce vectors at/above rabenseifner_threshold bytes.
+  std::int64_t bruck_threshold = 512;
+  std::int64_t rabenseifner_threshold = 128 * 1024;
+
+  // ---- protocol ----------------------------------------------------------
+  std::int64_t rndv_threshold = 16 * 1024;   ///< eager/rendezvous switch (paper §3.3)
+  std::int64_t stripe_threshold = 16 * 1024; ///< striping cutoff (same value in the paper)
+  std::int64_t min_stripe = 2048;            ///< never cut stripes below this
+  int eager_credits = 64;                    ///< preposted recv buffers per rail
+  int send_bounce_bufs = 256;                ///< sender-side eager bounce pool
+
+  // ---- software costs (MVAPICH-era, Power6) -------------------------------
+  sim::Time post_cpu = sim::nanoseconds(700);      ///< build WQE + ring doorbell (uncached MMIO)
+  sim::Time cqe_sw = sim::nanoseconds(750);        ///< poll + process one completion
+  sim::Time match_cpu = sim::nanoseconds(450);     ///< per-message header processing / matching
+  sim::Time ctl_cpu = sim::nanoseconds(300);       ///< control (RTS/CTS/FIN) handling
+  sim::Time reg_cache_miss = sim::nanoseconds(450);///< rendezvous buffer registration
+  sim::Time reg_cache_hit = sim::nanoseconds(50);
+  double memcpy_gbps = 2.6;                        ///< host memcpy rate for eager copies
+
+  // ---- shared-memory channel (intra-node) ---------------------------------
+  sim::Time shm_latency = sim::nanoseconds(400);
+  double shm_gbps = 1.8;
+
+  // ---- hardware -----------------------------------------------------------
+  ib::HcaParams hca;
+  ib::FabricParams fabric;
+
+  std::uint64_t seed = 0x12c0ffee;
+
+  /// The paper's baseline configuration.
+  static Config original() { return Config{}; }
+
+  /// The paper's enhanced configuration: n QPs/port with the given policy.
+  static Config enhanced(int qps, Policy p) {
+    Config c;
+    c.qps_per_port = qps;
+    c.policy = p;
+    return c;
+  }
+};
+
+}  // namespace ib12x::mvx

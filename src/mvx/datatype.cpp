@@ -1,0 +1,83 @@
+#include "mvx/datatype.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ib12x::mvx {
+
+namespace {
+
+template <typename T>
+void apply_arith(Op op, T* inout, const T* in, std::size_t n) {
+  switch (op) {
+    case Op::Sum:
+      for (std::size_t i = 0; i < n; ++i) inout[i] = inout[i] + in[i];
+      return;
+    case Op::Prod:
+      for (std::size_t i = 0; i < n; ++i) inout[i] = inout[i] * in[i];
+      return;
+    case Op::Max:
+      for (std::size_t i = 0; i < n; ++i) inout[i] = std::max(inout[i], in[i]);
+      return;
+    case Op::Min:
+      for (std::size_t i = 0; i < n; ++i) inout[i] = std::min(inout[i], in[i]);
+      return;
+    default:
+      throw std::invalid_argument("reduce_apply: bitwise op on arithmetic type");
+  }
+}
+
+template <typename T>
+void apply_bits(Op op, T* inout, const T* in, std::size_t n) {
+  switch (op) {
+    case Op::Band:
+      for (std::size_t i = 0; i < n; ++i) inout[i] = static_cast<T>(inout[i] & in[i]);
+      return;
+    case Op::Bor:
+      for (std::size_t i = 0; i < n; ++i) inout[i] = static_cast<T>(inout[i] | in[i]);
+      return;
+    default:
+      apply_arith(op, inout, in, n);
+      return;
+  }
+}
+
+void apply_complex(Op op, std::complex<double>* inout, const std::complex<double>* in,
+                   std::size_t n) {
+  switch (op) {
+    case Op::Sum:
+      for (std::size_t i = 0; i < n; ++i) inout[i] += in[i];
+      return;
+    case Op::Prod:
+      for (std::size_t i = 0; i < n; ++i) inout[i] *= in[i];
+      return;
+    default:
+      throw std::invalid_argument("reduce_apply: unsupported op for complex");
+  }
+}
+
+}  // namespace
+
+void reduce_apply(Op op, Datatype dt, void* inout, const void* in, std::size_t count) {
+  switch (dt.id) {
+    case TypeId::Byte:
+      apply_bits(op, static_cast<std::uint8_t*>(inout), static_cast<const std::uint8_t*>(in), count);
+      return;
+    case TypeId::Int32:
+      apply_bits(op, static_cast<std::int32_t*>(inout), static_cast<const std::int32_t*>(in), count);
+      return;
+    case TypeId::Int64:
+      apply_bits(op, static_cast<std::int64_t*>(inout), static_cast<const std::int64_t*>(in), count);
+      return;
+    case TypeId::Double:
+      apply_arith(op, static_cast<double*>(inout), static_cast<const double*>(in), count);
+      return;
+    case TypeId::Complex:
+      apply_complex(op, static_cast<std::complex<double>*>(inout),
+                    static_cast<const std::complex<double>*>(in), count);
+      return;
+  }
+  throw std::invalid_argument("reduce_apply: unknown datatype");
+}
+
+}  // namespace ib12x::mvx

@@ -1,0 +1,29 @@
+// Minimal MPI-style datatypes and reduction operators.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+
+namespace ib12x::mvx {
+
+enum class TypeId : std::uint8_t { Byte, Int32, Int64, Double, Complex };
+
+struct Datatype {
+  TypeId id = TypeId::Byte;
+  std::size_t size = 1;  ///< bytes per element
+};
+
+inline constexpr Datatype BYTE{TypeId::Byte, 1};
+inline constexpr Datatype INT32{TypeId::Int32, 4};
+inline constexpr Datatype INT64{TypeId::Int64, 8};
+inline constexpr Datatype DOUBLE{TypeId::Double, 8};
+inline constexpr Datatype COMPLEX{TypeId::Complex, 16};  ///< std::complex<double>
+
+enum class Op : std::uint8_t { Sum, Prod, Max, Min, Band, Bor };
+
+/// Applies `inout[i] = op(inout[i], in[i])` elementwise for `count` elements
+/// of type `dt`.  Byte supports only Band/Bor/Max/Min; Complex only Sum/Prod.
+void reduce_apply(Op op, Datatype dt, void* inout, const void* in, std::size_t count);
+
+}  // namespace ib12x::mvx

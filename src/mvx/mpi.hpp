@@ -1,0 +1,10 @@
+// Umbrella header: the complete public API of the mvx MPI substrate.
+#pragma once
+
+#include "mvx/comm.hpp"      // IWYU pragma: export
+#include "mvx/config.hpp"    // IWYU pragma: export
+#include "mvx/datatype.hpp"  // IWYU pragma: export
+#include "mvx/endpoint.hpp"  // IWYU pragma: export
+#include "mvx/policy.hpp"    // IWYU pragma: export
+#include "mvx/request.hpp"   // IWYU pragma: export
+#include "mvx/world.hpp"     // IWYU pragma: export

@@ -1,0 +1,78 @@
+#include "mvx/policy.hpp"
+
+namespace ib12x::mvx {
+
+const char* to_string(Policy p) {
+  switch (p) {
+    case Policy::Binding: return "binding";
+    case Policy::RoundRobin: return "round-robin";
+    case Policy::EvenStriping: return "even-striping";
+    case Policy::EPC: return "EPC";
+    case Policy::WeightedStriping: return "weighted-striping";
+    case Policy::Adaptive: return "adaptive";
+  }
+  return "?";
+}
+
+const char* to_string(CommKind k) {
+  switch (k) {
+    case CommKind::Blocking: return "blocking";
+    case CommKind::Nonblocking: return "non-blocking";
+    case CommKind::Collective: return "collective";
+  }
+  return "?";
+}
+
+namespace {
+
+Schedule round_robin(int nrails, RailCursor& cursor) {
+  Schedule s;
+  s.rail = cursor.next;
+  cursor.next = (cursor.next + 1) % nrails;
+  return s;
+}
+
+Schedule striping(std::int64_t bytes, int nrails, std::int64_t threshold) {
+  Schedule s;
+  if (bytes >= threshold && nrails > 1) {
+    s.stripe = true;
+  } else {
+    s.rail = 0;  // small messages ride a single QP (paper fig. 3)
+  }
+  return s;
+}
+
+}  // namespace
+
+Schedule choose_schedule(Policy policy, CommKind kind, std::int64_t bytes,
+                         int nrails, std::int64_t stripe_threshold, RailCursor& cursor) {
+  if (nrails <= 1) return Schedule{};
+  switch (policy) {
+    case Policy::Binding:
+      return Schedule{};  // rail 0
+    case Policy::RoundRobin:
+      return round_robin(nrails, cursor);
+    case Policy::EvenStriping:
+    case Policy::WeightedStriping:  // weights applied at stripe-split time
+      return striping(bytes, nrails, stripe_threshold);
+    case Policy::Adaptive:
+      // Resolved by the rail manager, which knows per-rail load; default to
+      // round robin here so a bare choose_schedule call stays sensible.
+      return round_robin(nrails, cursor);
+    case Policy::EPC:
+      switch (kind) {
+        case CommKind::Nonblocking:
+          return round_robin(nrails, cursor);
+        case CommKind::Blocking:
+          return striping(bytes, nrails, stripe_threshold);
+        case CommKind::Collective:
+          // Stripe at/above the threshold; below it the collective's many
+          // small steps still benefit from engine parallelism via RR.
+          if (bytes >= stripe_threshold) return striping(bytes, nrails, stripe_threshold);
+          return round_robin(nrails, cursor);
+      }
+  }
+  return Schedule{};
+}
+
+}  // namespace ib12x::mvx

@@ -1,0 +1,60 @@
+// Multi-rail communication scheduling policies (§3.2 of the paper) and the
+// communication-marker classification (§3.3).
+//
+// A *rail* is one queue pair: the cross product of HCAs × ports × QPs-per-
+// port.  A policy maps (message kind, message size) to a schedule: either a
+// single rail carries the whole message, or the message is striped across
+// all rails.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ib12x::mvx {
+
+enum class Policy : std::uint8_t {
+  Binding,          ///< every message on one fixed rail (the paper's "original" baseline uses this with 1 QP/port)
+  RoundRobin,       ///< whole messages on successive rails, circularly
+  EvenStriping,     ///< messages >= stripe threshold split equally over all rails
+  EPC,              ///< Enhanced Point-to-point and Collective: marker-driven (the paper's contribution)
+  WeightedStriping, ///< extension: striping proportional to configured rail weights
+  Adaptive,         ///< extension: whole messages to the least-loaded rail
+};
+
+/// What the ADI-layer communication marker knows about a transfer.
+enum class CommKind : std::uint8_t {
+  Blocking,     ///< MPI_Send/MPI_Recv: one message outstanding per pair
+  Nonblocking,  ///< MPI_Isend/MPI_Irecv windows
+  Collective,   ///< issued from inside a collective algorithm step
+};
+
+/// The scheduling decision for one message.
+struct Schedule {
+  bool stripe = false;  ///< split across all rails
+  int rail = 0;         ///< rail index when !stripe
+};
+
+/// Per-peer scheduling state (round-robin cursor, outstanding bytes for the
+/// adaptive policy).
+struct RailCursor {
+  int next = 0;
+};
+
+const char* to_string(Policy p);
+const char* to_string(CommKind k);
+
+/// The communication marker + policy table: decides how `bytes` of kind
+/// `kind` travel over `nrails` rails.  `stripe_threshold` is the paper's
+/// 16 KiB cutoff (also the rendezvous threshold).
+///
+/// EPC resolution (paper §3.2–3.3):
+///   blocking     → even striping   (exploit parallel engines on one message)
+///   non-blocking → round robin     (avoid per-stripe posting/ACK overheads;
+///                                   the window supplies engine parallelism)
+///   collective   → even striping   (each algorithm step is synchronous, so
+///                                   its non-blocking calls behave like
+///                                   blocking traffic)
+Schedule choose_schedule(Policy policy, CommKind kind, std::int64_t bytes,
+                         int nrails, std::int64_t stripe_threshold, RailCursor& cursor);
+
+}  // namespace ib12x::mvx

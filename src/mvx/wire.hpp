@@ -1,0 +1,45 @@
+// On-the-wire message formats of the MPI substrate.  Every eager payload and
+// every control message starts with a MsgHeader; rendezvous data itself moves
+// by RDMA write and carries no header.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace ib12x::mvx {
+
+enum class MsgType : std::uint8_t {
+  Eager,  ///< header + payload, matched like a normal message
+  Rts,    ///< rendezvous request-to-send (matched like a message; no payload)
+  Cts,    ///< clear-to-send: receiver buffer {addr, rkey} (control, unordered)
+  Fin,    ///< rendezvous finished (control, unordered)
+};
+
+struct MsgHeader {
+  MsgType type = MsgType::Eager;
+  std::uint8_t kind = 0;         ///< CommKind recorded by the communication marker
+  std::int32_t src_rank = -1;
+  std::int32_t tag = 0;
+  std::int32_t ctx = 0;          ///< communicator context id
+  std::uint32_t seq = 0;         ///< per (pair, ctx) ordering number (Eager/Rts only)
+  std::uint64_t size = 0;        ///< payload bytes (Eager) / full message size (Rts)
+  std::uint64_t sender_cookie = 0;
+  std::uint64_t receiver_cookie = 0;
+  std::uint64_t raddr = 0;       ///< Cts: receiver buffer address
+  std::uint32_t rkey = 0;        ///< Cts: receiver buffer rkey
+};
+
+inline constexpr std::size_t kHeaderBytes = sizeof(MsgHeader);
+
+inline void write_header(std::byte* dst, const MsgHeader& h) {
+  std::memcpy(dst, &h, sizeof(h));
+}
+
+inline MsgHeader read_header(const std::byte* src) {
+  MsgHeader h;
+  std::memcpy(&h, src, sizeof(h));
+  return h;
+}
+
+}  // namespace ib12x::mvx

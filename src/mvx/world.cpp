@@ -1,0 +1,58 @@
+#include "mvx/world.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace ib12x::mvx {
+
+World::World(ClusterSpec spec, Config cfg) : spec_(spec), cfg_(cfg) {
+  if (cfg_.ports_per_hca > cfg_.hca.ports) {
+    // Make the modelled HCA expose as many ports as the rail layout uses.
+    cfg_.hca.ports = cfg_.ports_per_hca;
+  }
+  fabric_ = std::make_unique<ib::Fabric>(sim_, cfg_.hca, cfg_.fabric);
+
+  node_hcas_.resize(static_cast<std::size_t>(spec_.nodes));
+  for (int n = 0; n < spec_.nodes; ++n) {
+    for (int h = 0; h < cfg_.hcas_per_node; ++h) {
+      node_hcas_[static_cast<std::size_t>(n)].push_back(&fabric_->add_hca(n));
+    }
+  }
+
+  for (int r = 0; r < spec_.total_ranks(); ++r) {
+    const int node = r / spec_.procs_per_node;
+    eps_.push_back(std::make_unique<Endpoint>(sim_, r, node,
+                                              node_hcas_[static_cast<std::size_t>(node)], cfg_));
+  }
+
+  for (int i = 0; i < spec_.total_ranks(); ++i) {
+    for (int j = i + 1; j < spec_.total_ranks(); ++j) {
+      if (eps_[static_cast<std::size_t>(i)]->node() == eps_[static_cast<std::size_t>(j)]->node()) {
+        Endpoint::connect_shm(*eps_[static_cast<std::size_t>(i)], *eps_[static_cast<std::size_t>(j)]);
+      } else {
+        Endpoint::connect_net(*eps_[static_cast<std::size_t>(i)], *eps_[static_cast<std::size_t>(j)]);
+      }
+    }
+  }
+}
+
+World::~World() = default;
+
+void World::run(const std::function<void(Communicator&)>& rank_main) {
+  sim::ProcessSet procs(sim_);
+  std::vector<int> group(static_cast<std::size_t>(ranks()));
+  std::iota(group.begin(), group.end(), 0);
+
+  for (int r = 0; r < ranks(); ++r) {
+    Endpoint* ep = eps_[static_cast<std::size_t>(r)].get();
+    procs.add("rank" + std::to_string(r), [this, ep, group, &rank_main](sim::Process& p) {
+      ep->attach_process(&p);
+      Communicator comm(this, ep, group, ep->rank(), /*ctx_base=*/0);
+      rank_main(comm);
+    });
+  }
+  procs.run_all(sim_.now());
+  end_time_ = sim_.now();
+}
+
+}  // namespace ib12x::mvx

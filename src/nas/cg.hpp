@@ -1,0 +1,40 @@
+// NAS CG (Conjugate Gradient) on the mvx substrate.
+//
+// The paper reports "no performance degradation" on the NAS kernels beyond
+// IS and FT; CG is the canonical representative of that class: its
+// communication is dominated by short allreduce dot-products plus a
+// vector allgather per matrix-vector product, so multi-rail bandwidth
+// policies should move it very little in either direction.
+//
+// Structure follows NPB CG with a 1-D row partition of a synthetic sparse
+// symmetric positive-definite matrix (diagonally dominant band + scattered
+// couplings, generated deterministically per global row).
+#pragma once
+
+#include <cstdint>
+
+#include "mvx/comm.hpp"
+#include "nas/params.hpp"
+
+namespace ib12x::nas {
+
+struct CgParams {
+  std::int64_t n;          ///< global unknowns
+  int nonzeros_per_row;    ///< off-diagonal couplings per row
+  int iterations;          ///< CG iterations (one matvec + 2 dots each)
+  double flop_ns = 0.45;   ///< per-flop virtual cost (matvec / axpy)
+};
+
+CgParams cg_params(NasClass c);
+
+struct CgResult {
+  double seconds = 0;        ///< virtual time of the timed region
+  bool verified = false;     ///< residual decreased monotonically to tolerance
+  double final_residual = 0; ///< ||b - Ax|| after the last iteration
+  double checksum = 0;       ///< deterministic digest of the solution vector
+};
+
+CgResult run_cg(mvx::Communicator& comm, NasClass cls);
+CgResult run_cg(mvx::Communicator& comm, const CgParams& params);
+
+}  // namespace ib12x::nas

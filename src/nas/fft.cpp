@@ -1,0 +1,71 @@
+#include "nas/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace ib12x::nas {
+
+Fft::Fft(std::size_t n) : n_(n) {
+  if (n == 0 || (n & (n - 1)) != 0) throw std::invalid_argument("Fft: size must be a power of 2");
+  log2n_ = 0;
+  while ((1u << log2n_) < n) ++log2n_;
+
+  bitrev_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t r = 0;
+    for (int b = 0; b < log2n_; ++b) {
+      if (i & (1u << b)) r |= 1u << (log2n_ - 1 - b);
+    }
+    bitrev_[i] = r;
+  }
+
+  twiddle_.resize(n / 2);
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    const double ang = -2.0 * std::numbers::pi * static_cast<double>(k) / static_cast<double>(n);
+    twiddle_[k] = Complex(std::cos(ang), std::sin(ang));
+  }
+  scratch_.resize(n);
+}
+
+void Fft::transform(Complex* data, int sign) const {
+  const std::size_t n = n_;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = bitrev_[i];
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len / 2;
+    const std::size_t tstep = n / len;
+    for (std::size_t base = 0; base < n; base += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        Complex w = twiddle_[k * tstep];
+        if (sign > 0) w = std::conj(w);
+        const Complex u = data[base + k];
+        const Complex t = w * data[base + k + half];
+        data[base + k] = u + t;
+        data[base + k + half] = u - t;
+      }
+    }
+  }
+  if (sign > 0) {
+    const double inv = 1.0 / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) data[i] *= inv;
+  }
+}
+
+void Fft::transform_strided(Complex* data, std::size_t stride, int sign) const {
+  if (stride == 1) {
+    transform(data, sign);
+    return;
+  }
+  for (std::size_t i = 0; i < n_; ++i) scratch_[i] = data[i * stride];
+  transform(scratch_.data(), sign);
+  for (std::size_t i = 0; i < n_; ++i) data[i * stride] = scratch_[i];
+}
+
+double Fft::flops() const {
+  return 5.0 * static_cast<double>(n_) * log2n_;
+}
+
+}  // namespace ib12x::nas

@@ -1,0 +1,37 @@
+// Serial complex FFT used by the FT kernel: iterative radix-2 with cached
+// twiddle factors.  Sizes must be powers of two.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace ib12x::nas {
+
+using Complex = std::complex<double>;
+
+class Fft {
+ public:
+  explicit Fft(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  /// In-place transform of `data` (length size()).  sign = -1 forward,
+  /// +1 inverse; the inverse includes the 1/n normalization.
+  void transform(Complex* data, int sign) const;
+
+  /// Strided transform: elements data[offset + i*stride], i in [0, size()).
+  void transform_strided(Complex* data, std::size_t stride, int sign) const;
+
+  /// Flop estimate for one transform of this size (the classic 5·n·log2 n).
+  [[nodiscard]] double flops() const;
+
+ private:
+  std::size_t n_;
+  int log2n_;
+  std::vector<std::size_t> bitrev_;
+  std::vector<Complex> twiddle_;  ///< exp(-2πi k / n), k in [0, n/2)
+  mutable std::vector<Complex> scratch_;
+};
+
+}  // namespace ib12x::nas

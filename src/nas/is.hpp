@@ -1,0 +1,29 @@
+// NAS IS (Integer Sort) on the mvx substrate.
+//
+// NPB 2.x MPI algorithm: every iteration classifies the local keys into
+// per-destination buckets, exchanges bucket sizes (MPI_Alltoall), moves the
+// keys (MPI_Alltoallv) so rank r ends up with the keys in its key-range, and
+// ranks them locally with a counting sort.  Communication volume per
+// iteration is the entire key array, which is why IS is the NPB kernel most
+// sensitive to the MPI bandwidth improvements the paper measures (fig. 9/10).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mvx/comm.hpp"
+#include "nas/params.hpp"
+
+namespace ib12x::nas {
+
+struct IsResult {
+  double seconds = 0;          ///< virtual execution time of the timed region
+  bool verified = false;       ///< global sortedness + key conservation
+  std::uint64_t checksum = 0;  ///< deterministic digest of the final ranking
+  std::int64_t keys_moved = 0; ///< total keys this rank sent through alltoallv
+};
+
+IsResult run_is(mvx::Communicator& comm, NasClass cls);
+IsResult run_is(mvx::Communicator& comm, const IsParams& params);
+
+}  // namespace ib12x::nas

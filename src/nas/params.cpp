@@ -1,0 +1,63 @@
+#include "nas/params.hpp"
+
+#include <stdexcept>
+
+namespace ib12x::nas {
+
+const char* to_string(NasClass c) {
+  switch (c) {
+    case NasClass::S: return "S";
+    case NasClass::A: return "A";
+    case NasClass::B: return "B";
+  }
+  return "?";
+}
+
+IsParams is_params(NasClass c) {
+  IsParams p{};
+  switch (c) {
+    case NasClass::S:
+      p.total_keys = 1 << 16;
+      p.max_key = 1 << 11;
+      p.iterations = 10;
+      return p;
+    case NasClass::A:
+      p.total_keys = 1 << 22;
+      p.max_key = 1 << 19;
+      p.iterations = 10;
+      return p;
+    case NasClass::B:
+      p.total_keys = 1 << 24;
+      p.max_key = 1 << 21;
+      p.iterations = 10;
+      return p;
+  }
+  throw std::invalid_argument("is_params: unknown class");
+}
+
+FtParams ft_params(NasClass c) {
+  FtParams p{};
+  switch (c) {
+    case NasClass::S:
+      p.nx = 32;
+      p.ny = 32;
+      p.nz = 16;
+      p.iterations = 4;
+      return p;
+    case NasClass::A:
+      p.nx = 128;
+      p.ny = 128;
+      p.nz = 64;
+      p.iterations = 6;
+      return p;
+    case NasClass::B:
+      p.nx = 256;
+      p.ny = 128;
+      p.nz = 128;
+      p.iterations = 6;
+      return p;
+  }
+  throw std::invalid_argument("ft_params: unknown class");
+}
+
+}  // namespace ib12x::nas

@@ -1,0 +1,65 @@
+// Deterministic event queue: events fire in (time, insertion-sequence) order,
+// so two events scheduled for the same instant always run in the order they
+// were scheduled, independent of heap internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace ib12x::sim {
+
+/// Action run when an event fires.
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `when`.  `when` may equal the current
+  /// time (the event runs after already-queued events for that instant).
+  void push(Time when, EventFn fn) {
+    heap_.push(Entry{when, next_seq_++, std::move(fn)});
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Earliest pending event time; only valid when !empty().
+  [[nodiscard]] Time next_time() const { return heap_.top().when; }
+
+  /// Removes and returns the earliest event's action, storing its time in
+  /// `when`.  Precondition: !empty().
+  EventFn pop(Time& when) {
+    // std::priority_queue::top() is const; the entry is about to be discarded
+    // so moving out of it is safe.
+    Entry& top = const_cast<Entry&>(heap_.top());
+    when = top.when;
+    EventFn fn = std::move(top.fn);
+    heap_.pop();
+    return fn;
+  }
+
+  /// Total number of events ever pushed (monotone counter, for stats).
+  [[nodiscard]] std::uint64_t pushed() const { return next_seq_; }
+
+ private:
+  struct Entry {
+    Time when;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace ib12x::sim

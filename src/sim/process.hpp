@@ -1,0 +1,139 @@
+// Simulated processes (MPI ranks) on top of the event kernel.
+//
+// Each Process runs user code on a dedicated std::thread, but only one thread
+// is ever runnable at a time: a two-party baton (mutex + condvar per process)
+// is handed between the driver thread (which runs the event loop) and the
+// process thread.  The effect is a deterministic coroutine — threads are used
+// purely for their stacks, never for parallelism — so model state needs no
+// locking and runs are bit-reproducible.
+//
+// Inside the process body, virtual time advances only through explicit calls:
+//   compute(d)   — charge d picoseconds of CPU work
+//   wait(w)      — block until Waitable w is notified from event context
+//   yield()      — let all events scheduled for the current instant run
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace ib12x::sim {
+
+class Process;
+
+/// A wake-up channel.  Processes block on it; event handlers notify it.
+/// There is no memory: a notify with no waiters is a no-op, so callers must
+/// always wait in a predicate loop (Process::wait_until does this).
+class Waitable {
+ public:
+  /// Wakes every currently-blocked waiter (they resume at the current
+  /// simulation time, in registration order).  Event/driver context only.
+  void notify_all();
+
+ private:
+  friend class Process;
+  std::vector<Process*> waiters_;
+};
+
+class Process {
+ public:
+  using Body = std::function<void(Process&)>;
+
+  Process(Simulator& sim, int id, std::string name, Body body);
+  ~Process();
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  /// Schedules the first activation at absolute time `when`.
+  void start(Time when = 0);
+
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] bool finished() const { return state_ == State::Finished; }
+  [[nodiscard]] bool blocked() const { return state_ == State::Blocked; }
+  [[nodiscard]] Simulator& simulator() { return sim_; }
+  [[nodiscard]] Time now() const { return sim_.now(); }
+
+  /// Re-raises any exception the body terminated with.
+  void rethrow_if_failed();
+
+  // ---- callable only from within the process body ----
+
+  /// Charges `d` of virtual CPU time to this process.
+  void compute(Time d);
+
+  /// Suspends until all events at the current instant have run.
+  void yield();
+
+  /// Suspends until `w` is notified.
+  void wait(Waitable& w);
+
+  /// Waits (re-checking after every notify) until `pred()` holds.
+  template <typename Pred>
+  void wait_until(Waitable& w, Pred pred) {
+    while (!pred()) wait(w);
+  }
+
+  // ---- callable only from event/driver context ----
+
+  /// If the process is blocked, schedules it to resume at the current time.
+  /// No-op otherwise (the waiter re-checks its predicate anyway).
+  void wake();
+
+ private:
+  enum class State { Created, Runnable, Running, Blocked, Finished };
+  enum class Baton { Driver, Proc };
+
+  /// Thrown through the body's stack when the runtime tears down a process
+  /// that never finished.
+  struct Killed {};
+
+  void thread_main();
+  void resume();           // driver side: hand baton over, park until it returns
+  void suspend_to_driver();  // process side: hand baton back, park until resumed
+
+  Simulator& sim_;
+  int id_;
+  std::string name_;
+  Body body_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  Baton baton_ = Baton::Driver;
+  bool kill_requested_ = false;
+
+  State state_ = State::Created;
+  std::exception_ptr error_;
+  std::thread thread_;
+};
+
+/// Owns a set of processes and drives them to completion.
+class ProcessSet {
+ public:
+  explicit ProcessSet(Simulator& sim) : sim_(sim) {}
+
+  Process& add(std::string name, Process::Body body);
+
+  /// Starts every process at time `when`, runs the event loop until all
+  /// finish, and rethrows the first process failure.  Throws std::runtime_error
+  /// naming the blocked processes if the system deadlocks.
+  void run_all(Time when = 0);
+
+  [[nodiscard]] std::size_t size() const { return procs_.size(); }
+  [[nodiscard]] Process& at(std::size_t i) { return *procs_[i]; }
+
+ private:
+  Simulator& sim_;
+  std::vector<std::unique_ptr<Process>> procs_;
+};
+
+}  // namespace ib12x::sim

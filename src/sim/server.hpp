@@ -1,0 +1,91 @@
+// Serialized resources for the queueing-network performance model.
+//
+// A Server is a single-queue FIFO resource (a DMA engine, a link direction,
+// a bus direction, a CPU doing WQE posting): work items occupy it back to
+// back.  reserve() implements the classic next-free-time discipline and
+// returns the interval the item occupies, letting callers chain pipeline
+// stages by passing each stage's finish time as the next stage's
+// earliest-start.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace ib12x::sim {
+
+class Simulator;
+
+/// Occupancy interval returned by Server::reserve.
+struct Reservation {
+  Time start;   ///< when the item begins service
+  Time finish;  ///< when the resource frees again
+};
+
+class Server {
+ public:
+  Server() = default;
+  explicit Server(std::string name) : name_(std::move(name)) {}
+
+  /// Reserves the resource for `service` time units, starting no earlier
+  /// than `earliest`.  The caller supplies the current simulation time so
+  /// utilization accounting stays exact.
+  Reservation reserve(Time now, Time earliest, Time service) {
+    Time start = std::max({now, earliest, free_at_});
+    Time finish = start + service;
+    free_at_ = finish;
+    busy_ += service;
+    ++jobs_;
+    return {start, finish};
+  }
+
+  /// Time at which the resource next becomes free (may be in the past).
+  [[nodiscard]] Time free_at() const { return free_at_; }
+
+  /// Total busy time accumulated across all reservations.
+  [[nodiscard]] Time busy_time() const { return busy_; }
+  [[nodiscard]] std::uint64_t jobs() const { return jobs_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  void reset_stats() {
+    busy_ = 0;
+    jobs_ = 0;
+  }
+
+ private:
+  std::string name_;
+  Time free_at_ = 0;
+  Time busy_ = 0;
+  std::uint64_t jobs_ = 0;
+};
+
+/// A rate-based server: service time derives from a byte count and a fixed
+/// bandwidth.  Convenience wrapper used for buses, links and DMA engines.
+class BandwidthServer {
+ public:
+  BandwidthServer() = default;
+  BandwidthServer(std::string name, double gigabytes_per_s)
+      : server_(std::move(name)), rate_(gigabytes_per_s) {}
+
+  Reservation reserve_bytes(Time now, Time earliest, std::int64_t bytes) {
+    return server_.reserve(now, earliest, transfer_time(bytes, rate_));
+  }
+  Reservation reserve_time(Time now, Time earliest, Time service) {
+    return server_.reserve(now, earliest, service);
+  }
+
+  [[nodiscard]] double rate() const { return rate_; }
+  [[nodiscard]] Time free_at() const { return server_.free_at(); }
+  [[nodiscard]] Time busy_time() const { return server_.busy_time(); }
+  [[nodiscard]] std::uint64_t jobs() const { return server_.jobs(); }
+  [[nodiscard]] const std::string& name() const { return server_.name(); }
+  void reset_stats() { server_.reset_stats(); }
+
+ private:
+  Server server_;
+  double rate_ = 1.0;
+};
+
+}  // namespace ib12x::sim

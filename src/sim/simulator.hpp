@@ -1,0 +1,76 @@
+// The simulation kernel: a virtual clock plus the deterministic event queue.
+//
+// The kernel is strictly single-threaded in the logical sense: exactly one
+// piece of model code runs at a time (either an event handler on the driver
+// thread, or one simulated process — see process.hpp — which holds the baton
+// while the driver thread is parked).  No locking is therefore needed around
+// the queue or the clock.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace ib12x::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `when`.  Scheduling in the past is a
+  /// model bug and throws.
+  void at(Time when, EventFn fn) {
+    if (when < now_) {
+      throw std::logic_error("Simulator::at: scheduling in the past (when=" +
+                             std::to_string(when) + " now=" + std::to_string(now_) + ")");
+    }
+    queue_.push(when, std::move(fn));
+  }
+
+  /// Schedules `fn` `delay` picoseconds from now.
+  void after(Time delay, EventFn fn) { at(now_ + delay, std::move(fn)); }
+
+  /// Runs the earliest pending event, advancing the clock to its timestamp.
+  /// Returns false if the queue was empty.
+  bool step() {
+    if (queue_.empty()) return false;
+    Time when = 0;
+    EventFn fn = queue_.pop(when);
+    now_ = when;
+    ++processed_;
+    fn();
+    return true;
+  }
+
+  /// Runs events until the queue drains.
+  void run() {
+    while (step()) {
+    }
+  }
+
+  /// Runs events with timestamps <= `deadline`; leaves later events queued
+  /// and advances the clock to exactly `deadline`.
+  void run_until(Time deadline) {
+    while (!queue_.empty() && queue_.next_time() <= deadline) step();
+    if (now_ < deadline) now_ = deadline;
+  }
+
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+  [[nodiscard]] std::uint64_t events_scheduled() const { return queue_.pushed(); }
+  [[nodiscard]] std::size_t events_pending() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  Time now_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace ib12x::sim

@@ -1,0 +1,99 @@
+// Bench-harness plumbing: the table printer, size labels, sweep helper, and
+// the Runner's measurement semantics (determinism, steady-state skipping,
+// direction accounting).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "harness/runner.hpp"
+#include "harness/table.hpp"
+
+namespace ib12x::harness {
+namespace {
+
+TEST(Table, ValuesRoundTrip) {
+  Table t("demo", "size");
+  t.add_column("a");
+  t.add_column("b");
+  t.add_row("1K", {1.5, 2.5});
+  t.add_row("2K", {3.5, 4.5});
+  EXPECT_EQ(t.row_count(), 2u);
+  EXPECT_EQ(t.value(0, 1), 2.5);
+  EXPECT_EQ(t.value(1, 0), 3.5);
+  EXPECT_EQ(t.row_label(1), "2K");
+}
+
+TEST(Table, CsvOutput) {
+  Table t("demo", "size");
+  t.add_column("col");
+  t.add_row("8", {1.25});
+  char buf[256] = {};
+  std::FILE* mem = fmemopen(buf, sizeof(buf), "w");
+  t.print_csv(mem, 2);
+  std::fclose(mem);
+  EXPECT_STREQ(buf, "size,col\n8,1.25\n");
+}
+
+TEST(SizeLabel, HumanUnits) {
+  EXPECT_EQ(size_label(1), "1");
+  EXPECT_EQ(size_label(512), "512");
+  EXPECT_EQ(size_label(1024), "1K");
+  EXPECT_EQ(size_label(16 * 1024), "16K");
+  EXPECT_EQ(size_label(1 << 20), "1M");
+  EXPECT_EQ(size_label(1500), "1500");  // non-round sizes stay in bytes
+}
+
+TEST(Pow2Sizes, SweepRange) {
+  auto v = pow2_sizes(16, 128);
+  EXPECT_EQ(v, (std::vector<std::int64_t>{16, 32, 64, 128}));
+  EXPECT_THROW(pow2_sizes(0, 8), std::invalid_argument);
+  EXPECT_THROW(pow2_sizes(64, 16), std::invalid_argument);
+}
+
+TEST(Runner, MeasurementsAreDeterministic) {
+  BenchParams bp;
+  bp.lat_iters = 30;
+  bp.lat_skip = 5;
+  Runner a(mvx::ClusterSpec{2, 1}, mvx::Config::enhanced(4, mvx::Policy::EPC), bp);
+  Runner b(mvx::ClusterSpec{2, 1}, mvx::Config::enhanced(4, mvx::Policy::EPC), bp);
+  EXPECT_DOUBLE_EQ(a.latency_us(1024), b.latency_us(1024));
+  EXPECT_DOUBLE_EQ(a.uni_bw_mbs(65536), b.uni_bw_mbs(65536));
+}
+
+TEST(Runner, LatencyMonotoneInSize) {
+  Runner r(mvx::ClusterSpec{2, 1}, mvx::Config::original());
+  double prev = 0;
+  for (std::int64_t bytes : {1L, 1024L, 65536L, 1L << 20}) {
+    const double us = r.latency_us(bytes);
+    EXPECT_GT(us, prev) << bytes;
+    prev = us;
+  }
+}
+
+TEST(Runner, BiBwExceedsUniBw) {
+  BenchParams bp;
+  bp.bw_iters = 8;
+  bp.bw_skip = 2;
+  Runner r(mvx::ClusterSpec{2, 1}, mvx::Config::enhanced(4, mvx::Policy::EPC), bp);
+  const double uni = r.uni_bw_mbs(1 << 20);
+  const double bi = r.bi_bw_mbs(1 << 20);
+  EXPECT_GT(bi, uni * 1.5);
+  EXPECT_LT(bi, uni * 2.0);
+}
+
+TEST(Runner, AlltoallScalesWithSize) {
+  Runner r(mvx::ClusterSpec{2, 2}, mvx::Config::enhanced(4, mvx::Policy::EPC));
+  const double small = r.alltoall_us(16 * 1024);
+  const double large = r.alltoall_us(256 * 1024);
+  EXPECT_GT(large, small * 4);  // 16x the data, at least 4x the time
+}
+
+TEST(Runner, ExtraRanksAreHarmlessForPairTests) {
+  // latency/bw use ranks 0 and 1 only; additional ranks must not deadlock.
+  Runner r(mvx::ClusterSpec{2, 2}, mvx::Config::original());
+  EXPECT_GT(r.latency_us(8), 0.0);
+}
+
+}  // namespace
+}  // namespace ib12x::harness

@@ -1,0 +1,56 @@
+#include "ib/cq.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace ib12x::ib {
+namespace {
+
+Wc make_wc(std::uint64_t id) {
+  Wc wc;
+  wc.wr_id = id;
+  return wc;
+}
+
+TEST(CompletionQueue, PollEmptyReturnsFalse) {
+  CompletionQueue cq;
+  Wc wc;
+  EXPECT_FALSE(cq.poll(wc));
+}
+
+TEST(CompletionQueue, FifoOrder) {
+  CompletionQueue cq;
+  cq.push(make_wc(1));
+  cq.push(make_wc(2));
+  cq.push(make_wc(3));
+  Wc wc;
+  ASSERT_TRUE(cq.poll(wc));
+  EXPECT_EQ(wc.wr_id, 1u);
+  ASSERT_TRUE(cq.poll(wc));
+  EXPECT_EQ(wc.wr_id, 2u);
+  ASSERT_TRUE(cq.poll(wc));
+  EXPECT_EQ(wc.wr_id, 3u);
+  EXPECT_FALSE(cq.poll(wc));
+}
+
+TEST(CompletionQueue, CallbackBypassesQueue) {
+  CompletionQueue cq;
+  std::vector<std::uint64_t> seen;
+  cq.set_callback([&](const Wc& wc) { seen.push_back(wc.wr_id); });
+  cq.push(make_wc(7));
+  cq.push(make_wc(8));
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{7, 8}));
+  EXPECT_EQ(cq.pending(), 0u);
+}
+
+TEST(CompletionQueue, OverflowThrows) {
+  CompletionQueue cq(2);
+  cq.push(make_wc(1));
+  cq.push(make_wc(2));
+  EXPECT_THROW(cq.push(make_wc(3)), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ib12x::ib

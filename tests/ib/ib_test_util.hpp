@@ -1,0 +1,63 @@
+// Shared scaffolding for IB-model tests: a two-node fabric with one
+// connected QP pair (more can be added), registered scratch buffers, and a
+// drain helper that runs the simulator and collects completions.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "ib/verbs.hpp"
+#include "sim/simulator.hpp"
+
+namespace ib12x::ib::testutil {
+
+struct Endpoint {
+  Hca* hca = nullptr;
+  CompletionQueue scq;
+  CompletionQueue rcq;
+  std::vector<QueuePair*> qps;
+};
+
+struct TwoNodeFabric {
+  explicit TwoNodeFabric(HcaParams hp = {}, FabricParams fp = {}, int qps_per_side = 1)
+      : fabric(sim, hp, fp) {
+    a.hca = &fabric.add_hca(0);
+    b.hca = &fabric.add_hca(1);
+    for (int i = 0; i < qps_per_side; ++i) add_qp_pair(0, 0);
+  }
+
+  /// Adds one connected QP pair on the given ports of each side.
+  void add_qp_pair(int port_a, int port_b) {
+    QueuePair& qa = a.hca->create_qp(port_a, a.scq, a.rcq);
+    QueuePair& qb = b.hca->create_qp(port_b, b.scq, b.rcq);
+    Fabric::connect(qa, qb);
+    a.qps.push_back(&qa);
+    b.qps.push_back(&qb);
+  }
+
+  /// Runs the event loop to completion and returns all CQEs from `cq`.
+  std::vector<Wc> drain(CompletionQueue& cq) {
+    sim.run();
+    std::vector<Wc> out;
+    Wc wc;
+    while (cq.poll(wc)) out.push_back(wc);
+    return out;
+  }
+
+  sim::Simulator sim;
+  Fabric fabric;
+  Endpoint a;
+  Endpoint b;
+};
+
+inline std::vector<std::byte> pattern_buffer(std::size_t n, unsigned seed = 1) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>((i * 131 + seed * 7) & 0xff);
+  }
+  return v;
+}
+
+}  // namespace ib12x::ib::testutil

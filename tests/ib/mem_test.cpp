@@ -1,0 +1,78 @@
+#include "ib/mem.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace ib12x::ib {
+namespace {
+
+TEST(MemoryDomain, RegisterAndTranslate) {
+  MemoryDomain md;
+  std::vector<std::byte> buf(256);
+  MemoryRegion mr = md.register_memory(buf.data(), buf.size());
+  EXPECT_NE(mr.rkey, 0u);
+  std::byte* p = md.translate_rkey(mr.rkey, mr.addr + 16, 64);
+  EXPECT_EQ(p, buf.data() + 16);
+}
+
+TEST(MemoryDomain, UnknownRkeyThrows) {
+  MemoryDomain md;
+  EXPECT_THROW(md.translate_rkey(999, 0x1000, 4), std::runtime_error);
+}
+
+TEST(MemoryDomain, OutOfBoundsThrows) {
+  MemoryDomain md;
+  std::vector<std::byte> buf(128);
+  MemoryRegion mr = md.register_memory(buf.data(), buf.size());
+  EXPECT_THROW(md.translate_rkey(mr.rkey, mr.addr + 120, 16), std::runtime_error);
+  EXPECT_THROW(md.translate_rkey(mr.rkey, mr.addr - 8, 8), std::runtime_error);
+}
+
+TEST(MemoryDomain, ExactBoundsAllowed) {
+  MemoryDomain md;
+  std::vector<std::byte> buf(128);
+  MemoryRegion mr = md.register_memory(buf.data(), buf.size());
+  EXPECT_NO_THROW(md.translate_rkey(mr.rkey, mr.addr, 128));
+}
+
+TEST(MemoryDomain, DeregisterInvalidatesKeys) {
+  MemoryDomain md;
+  std::vector<std::byte> buf(64);
+  MemoryRegion mr = md.register_memory(buf.data(), buf.size());
+  md.deregister(mr);
+  EXPECT_THROW(md.translate_rkey(mr.rkey, mr.addr, 1), std::runtime_error);
+  EXPECT_EQ(md.region_count(), 0u);
+}
+
+TEST(MemoryDomain, LkeyValidation) {
+  MemoryDomain md;
+  std::vector<std::byte> buf(64);
+  MemoryRegion mr = md.register_memory(buf.data(), buf.size());
+  EXPECT_NO_THROW(md.check_lkey(mr.lkey, buf.data(), 64));
+  EXPECT_THROW(md.check_lkey(mr.lkey, buf.data() + 1, 64), std::runtime_error);
+  EXPECT_THROW(md.check_lkey(777, buf.data(), 1), std::runtime_error);
+}
+
+TEST(MemoryDomain, OverlappingRegistrationsCoexist) {
+  MemoryDomain md;
+  std::vector<std::byte> buf(256);
+  MemoryRegion a = md.register_memory(buf.data(), 256);
+  MemoryRegion b = md.register_memory(buf.data() + 64, 64);
+  EXPECT_NE(a.rkey, b.rkey);
+  EXPECT_NO_THROW(md.translate_rkey(a.rkey, a.addr + 200, 8));
+  EXPECT_THROW(md.translate_rkey(b.rkey, a.addr + 200, 8), std::runtime_error);
+  EXPECT_EQ(md.region_count(), 2u);
+}
+
+TEST(MemoryDomain, ConstRegistration) {
+  MemoryDomain md;
+  const std::vector<std::byte> buf(32);
+  const MemoryRegion& mr = md.register_memory_const(buf.data(), buf.size());
+  EXPECT_NO_THROW(md.check_lkey(mr.lkey, buf.data(), 32));
+}
+
+}  // namespace
+}  // namespace ib12x::ib

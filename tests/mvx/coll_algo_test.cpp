@@ -1,0 +1,135 @@
+// Collective algorithm variants: all algorithms must agree bit-for-bit, and
+// the Auto selection must pick the latency winner for small blocks and the
+// bandwidth winner for large vectors.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mvx/mpi.hpp"
+#include "mvx_test_util.hpp"
+
+namespace ib12x::mvx {
+namespace {
+
+using A2A = Config::AlltoallAlgo;
+using AR = Config::AllreduceAlgo;
+
+std::vector<std::int32_t> run_alltoall(A2A algo, ClusterSpec spec, std::size_t per_ints) {
+  Config cfg = Config::enhanced(4, Policy::EPC);
+  cfg.alltoall_algo = algo;
+  World w(spec, cfg);
+  std::vector<std::int32_t> rank0;
+  w.run([&](Communicator& c) {
+    const int p = c.size();
+    std::vector<std::int32_t> send(per_ints * static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d) {
+      for (std::size_t i = 0; i < per_ints; ++i) {
+        send[static_cast<std::size_t>(d) * per_ints + i] =
+            c.rank() * 10000 + d * 100 + static_cast<std::int32_t>(i % 97);
+      }
+    }
+    std::vector<std::int32_t> recv(per_ints * static_cast<std::size_t>(p), -1);
+    c.alltoall(send.data(), recv.data(), per_ints, INT32);
+    for (int s = 0; s < p; ++s) {
+      for (std::size_t i = 0; i < per_ints; ++i) {
+        ASSERT_EQ(recv[static_cast<std::size_t>(s) * per_ints + i],
+                  s * 10000 + c.rank() * 100 + static_cast<std::int32_t>(i % 97))
+            << "algo block from " << s;
+      }
+    }
+    if (c.rank() == 0) rank0 = recv;
+  });
+  return rank0;
+}
+
+TEST(CollAlgo, BruckMatchesPairwise) {
+  for (ClusterSpec spec : {ClusterSpec{2, 2}, ClusterSpec{2, 3}, ClusterSpec{2, 4}, ClusterSpec{3, 1}}) {
+    for (std::size_t per : {1ul, 16ul, 300ul}) {
+      auto a = run_alltoall(A2A::Pairwise, spec, per);
+      auto b = run_alltoall(A2A::Bruck, spec, per);
+      EXPECT_EQ(a, b) << spec.nodes << "x" << spec.procs_per_node << " per=" << per;
+    }
+  }
+}
+
+TEST(CollAlgo, BruckFasterForTinyBlocksAtEightRanks) {
+  auto timed = [](A2A algo) {
+    Config cfg = Config::enhanced(4, Policy::EPC);
+    cfg.alltoall_algo = algo;
+    World w(ClusterSpec{2, 4}, cfg);
+    sim::Time end = 0;
+    w.run([&](Communicator& c) {
+      std::vector<std::byte> s(64 * static_cast<std::size_t>(c.size()));
+      std::vector<std::byte> r(64 * static_cast<std::size_t>(c.size()));
+      for (int i = 0; i < 20; ++i) c.alltoall(s.data(), r.data(), 64, BYTE);
+      end = c.now();
+    });
+    return static_cast<double>(end);
+  };
+  EXPECT_LT(timed(A2A::Bruck), timed(A2A::Pairwise));
+}
+
+double run_allreduce(AR algo, ClusterSpec spec, std::size_t n, sim::Time* elapsed) {
+  Config cfg = Config::enhanced(4, Policy::EPC);
+  cfg.allreduce_algo = algo;
+  World w(spec, cfg);
+  double sample = 0;
+  w.run([&](Communicator& c) {
+    std::vector<double> mine(n), out(n);
+    for (std::size_t i = 0; i < n; ++i) mine[i] = c.rank() + 0.5 * static_cast<double>(i % 13);
+    const sim::Time t0 = c.now();
+    c.allreduce(mine.data(), out.data(), n, DOUBLE, Op::Sum);
+    if (c.rank() == 0) {
+      sample = out[n / 2];
+      if (elapsed != nullptr) *elapsed = c.now() - t0;
+    }
+    // Verify the whole vector on every rank.
+    const int p = c.size();
+    for (std::size_t i = 0; i < n; i += 101) {
+      ASSERT_DOUBLE_EQ(out[i], p * (p - 1) / 2.0 + p * 0.5 * static_cast<double>(i % 13));
+    }
+  });
+  return sample;
+}
+
+TEST(CollAlgo, AllreduceVariantsAgree) {
+  for (ClusterSpec spec : {ClusterSpec{2, 2}, ClusterSpec{2, 3}}) {
+    for (std::size_t n : {7ul, 1000ul, 40000ul}) {
+      const double a = run_allreduce(AR::ReduceBcast, spec, n, nullptr);
+      const double b = run_allreduce(AR::Rabenseifner, spec, n, nullptr);
+      EXPECT_DOUBLE_EQ(a, b);
+      if (spec.total_ranks() == 4) {
+        const double c = run_allreduce(AR::RecursiveDoubling, spec, n, nullptr);
+        EXPECT_DOUBLE_EQ(a, c);
+      }
+    }
+  }
+}
+
+TEST(CollAlgo, RabenseifnerWinsForLongVectors) {
+  sim::Time rd = 0, rab = 0;
+  run_allreduce(AR::RecursiveDoubling, ClusterSpec{2, 2}, 200000, &rd);
+  run_allreduce(AR::Rabenseifner, ClusterSpec{2, 2}, 200000, &rab);
+  EXPECT_LT(rab, rd);
+}
+
+TEST(CollAlgo, RecursiveDoublingWinsForShortVectors) {
+  sim::Time rd = 0, rab = 0;
+  run_allreduce(AR::RecursiveDoubling, ClusterSpec{2, 2}, 16, &rd);
+  run_allreduce(AR::Rabenseifner, ClusterSpec{2, 2}, 16, &rab);
+  EXPECT_LT(rd, rab);
+}
+
+TEST(CollAlgo, AutoSelectionNeverLosesBadly) {
+  // Auto must track the better variant within 10% at both extremes.
+  for (std::size_t n : {16ul, 200000ul}) {
+    sim::Time t_auto = 0, rd = 0, rab = 0;
+    run_allreduce(AR::Auto, ClusterSpec{2, 2}, n, &t_auto);
+    run_allreduce(AR::RecursiveDoubling, ClusterSpec{2, 2}, n, &rd);
+    run_allreduce(AR::Rabenseifner, ClusterSpec{2, 2}, n, &rab);
+    EXPECT_LE(static_cast<double>(t_auto), static_cast<double>(std::min(rd, rab)) * 1.10) << n;
+  }
+}
+
+}  // namespace
+}  // namespace ib12x::mvx

@@ -1,0 +1,236 @@
+// Collective correctness across rank counts, sizes and datatypes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "mvx/mpi.hpp"
+#include "mvx_test_util.hpp"
+
+namespace ib12x::mvx {
+namespace {
+
+/// (nodes, procs/node) sweep including the paper's 2x1 / 2x2 / 2x4 layouts
+/// and a non-power-of-two count.
+const ClusterSpec kLayouts[] = {{2, 1}, {2, 2}, {2, 4}, {3, 1}, {2, 3}};
+
+class CollLayout : public ::testing::TestWithParam<int> {
+ protected:
+  ClusterSpec spec() const { return kLayouts[static_cast<std::size_t>(GetParam())]; }
+};
+
+TEST_P(CollLayout, BarrierSynchronizes) {
+  World w(spec(), Config::enhanced(2, Policy::EPC));
+  w.run([](Communicator& c) {
+    // Stagger arrival; after the barrier everyone's clock must be >= the
+    // latest arrival.
+    c.compute(sim::microseconds(10.0 * c.rank()));
+    const sim::Time before = c.now();
+    c.barrier();
+    EXPECT_GE(c.now(), sim::microseconds(10.0 * (c.size() - 1)));
+    EXPECT_GE(c.now(), before);
+  });
+}
+
+TEST_P(CollLayout, BcastFromEveryRoot) {
+  World w(spec(), Config::enhanced(2, Policy::EPC));
+  w.run([](Communicator& c) {
+    for (int root = 0; root < c.size(); ++root) {
+      std::vector<std::int32_t> buf(1000);
+      if (c.rank() == root) {
+        std::iota(buf.begin(), buf.end(), root * 1000);
+      }
+      c.bcast(buf.data(), buf.size(), INT32, root);
+      std::vector<std::int32_t> want(1000);
+      std::iota(want.begin(), want.end(), root * 1000);
+      EXPECT_EQ(buf, want) << "root " << root;
+    }
+  });
+}
+
+TEST_P(CollLayout, ReduceSumToEveryRoot) {
+  World w(spec(), Config::enhanced(2, Policy::EPC));
+  w.run([](Communicator& c) {
+    const int p = c.size();
+    for (int root = 0; root < p; ++root) {
+      std::vector<std::int64_t> mine(64), out(64, -1);
+      for (std::size_t i = 0; i < mine.size(); ++i) {
+        mine[i] = c.rank() + static_cast<std::int64_t>(i);
+      }
+      c.reduce(mine.data(), out.data(), mine.size(), INT64, Op::Sum, root);
+      if (c.rank() == root) {
+        for (std::size_t i = 0; i < out.size(); ++i) {
+          const std::int64_t want = static_cast<std::int64_t>(p) * (p - 1) / 2 +
+                                    static_cast<std::int64_t>(p) * static_cast<std::int64_t>(i);
+          EXPECT_EQ(out[i], want);
+        }
+      }
+    }
+  });
+}
+
+TEST_P(CollLayout, AllreduceOps) {
+  World w(spec(), Config::enhanced(2, Policy::EPC));
+  w.run([](Communicator& c) {
+    const int p = c.size();
+    double mine = 1.5 + c.rank();
+    double sum = 0;
+    c.allreduce(&mine, &sum, 1, DOUBLE, Op::Sum);
+    EXPECT_DOUBLE_EQ(sum, 1.5 * p + p * (p - 1) / 2.0);
+
+    std::int32_t v = 100 - c.rank();
+    std::int32_t mn = 0, mx = 0;
+    c.allreduce(&v, &mn, 1, INT32, Op::Min);
+    c.allreduce(&v, &mx, 1, INT32, Op::Max);
+    EXPECT_EQ(mn, 100 - (p - 1));
+    EXPECT_EQ(mx, 100);
+  });
+}
+
+TEST_P(CollLayout, AllreduceLargeVector) {
+  World w(spec(), Config::enhanced(4, Policy::EPC));
+  w.run([](Communicator& c) {
+    const std::size_t n = 50000;  // 400 KB of doubles → rendezvous path
+    std::vector<double> mine(n), out(n);
+    for (std::size_t i = 0; i < n; ++i) mine[i] = c.rank() + 0.25 * static_cast<double>(i % 7);
+    c.allreduce(mine.data(), out.data(), n, DOUBLE, Op::Sum);
+    const int p = c.size();
+    for (std::size_t i = 0; i < n; i += 997) {
+      const double want = p * (p - 1) / 2.0 + p * 0.25 * static_cast<double>(i % 7);
+      EXPECT_DOUBLE_EQ(out[i], want) << i;
+    }
+  });
+}
+
+TEST_P(CollLayout, GatherScatterRoundTrip) {
+  World w(spec(), Config::enhanced(2, Policy::EPC));
+  w.run([](Communicator& c) {
+    const int p = c.size();
+    const std::size_t per = 128;
+    std::vector<std::int32_t> mine(per, c.rank());
+    std::vector<std::int32_t> all(per * static_cast<std::size_t>(p), -1);
+    c.gather(mine.data(), all.data(), per, INT32, 0);
+    if (c.rank() == 0) {
+      for (int r = 0; r < p; ++r) {
+        for (std::size_t i = 0; i < per; ++i) {
+          EXPECT_EQ(all[static_cast<std::size_t>(r) * per + i], r);
+        }
+      }
+      // Scatter back r+1000 to each rank.
+      for (int r = 0; r < p; ++r) {
+        for (std::size_t i = 0; i < per; ++i) {
+          all[static_cast<std::size_t>(r) * per + i] = r + 1000;
+        }
+      }
+    }
+    std::vector<std::int32_t> back(per, -1);
+    c.scatter(all.data(), back.data(), per, INT32, 0);
+    for (std::size_t i = 0; i < per; ++i) EXPECT_EQ(back[i], c.rank() + 1000);
+  });
+}
+
+TEST_P(CollLayout, AllgatherAssemblesAllBlocks) {
+  World w(spec(), Config::enhanced(2, Policy::EPC));
+  w.run([](Communicator& c) {
+    const int p = c.size();
+    const std::size_t per = 256;
+    auto mine = testutil::payload(per, c.rank());
+    std::vector<std::byte> all(per * static_cast<std::size_t>(p));
+    c.allgather(mine.data(), all.data(), per, BYTE);
+    for (int r = 0; r < p; ++r) {
+      std::vector<std::byte> block(all.begin() + static_cast<std::ptrdiff_t>(r * per),
+                                   all.begin() + static_cast<std::ptrdiff_t>((r + 1) * per));
+      EXPECT_EQ(block, testutil::payload(per, r)) << "block " << r;
+    }
+  });
+}
+
+TEST_P(CollLayout, AlltoallPermutesBlocks) {
+  World w(spec(), Config::enhanced(4, Policy::EPC));
+  w.run([](Communicator& c) {
+    const int p = c.size();
+    const std::size_t per = 512;
+    // Block for destination d carries pattern (src=rank, tag=d).
+    std::vector<std::byte> sendbuf(per * static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d) {
+      auto block = testutil::payload(per, c.rank(), d);
+      std::copy(block.begin(), block.end(),
+                sendbuf.begin() + static_cast<std::ptrdiff_t>(d * per));
+    }
+    std::vector<std::byte> recvbuf(per * static_cast<std::size_t>(p));
+    c.alltoall(sendbuf.data(), recvbuf.data(), per, BYTE);
+    for (int s = 0; s < p; ++s) {
+      std::vector<std::byte> block(recvbuf.begin() + static_cast<std::ptrdiff_t>(s * per),
+                                   recvbuf.begin() + static_cast<std::ptrdiff_t>((s + 1) * per));
+      EXPECT_EQ(block, testutil::payload(per, s, c.rank())) << "from " << s;
+    }
+  });
+}
+
+TEST_P(CollLayout, AlltoallvRaggedCounts) {
+  World w(spec(), Config::enhanced(4, Policy::EPC));
+  w.run([](Communicator& c) {
+    const int p = c.size();
+    // Rank r sends (r + d + 1) * 100 int32s to destination d.
+    std::vector<std::int64_t> scounts(static_cast<std::size_t>(p)), sdispls(static_cast<std::size_t>(p));
+    std::vector<std::int64_t> rcounts(static_cast<std::size_t>(p)), rdispls(static_cast<std::size_t>(p));
+    std::int64_t soff = 0, roff = 0;
+    for (int d = 0; d < p; ++d) {
+      scounts[static_cast<std::size_t>(d)] = (c.rank() + d + 1) * 100;
+      sdispls[static_cast<std::size_t>(d)] = soff;
+      soff += scounts[static_cast<std::size_t>(d)];
+      rcounts[static_cast<std::size_t>(d)] = (d + c.rank() + 1) * 100;
+      rdispls[static_cast<std::size_t>(d)] = roff;
+      roff += rcounts[static_cast<std::size_t>(d)];
+    }
+    std::vector<std::int32_t> sendbuf(static_cast<std::size_t>(soff));
+    for (int d = 0; d < p; ++d) {
+      for (std::int64_t i = 0; i < scounts[static_cast<std::size_t>(d)]; ++i) {
+        sendbuf[static_cast<std::size_t>(sdispls[static_cast<std::size_t>(d)] + i)] =
+            c.rank() * 1000 + d;
+      }
+    }
+    std::vector<std::int32_t> recvbuf(static_cast<std::size_t>(roff), -1);
+    c.alltoallv(sendbuf.data(), scounts, sdispls, recvbuf.data(), rcounts, rdispls, INT32);
+    for (int s = 0; s < p; ++s) {
+      for (std::int64_t i = 0; i < rcounts[static_cast<std::size_t>(s)]; ++i) {
+        EXPECT_EQ(recvbuf[static_cast<std::size_t>(rdispls[static_cast<std::size_t>(s)] + i)],
+                  s * 1000 + c.rank())
+            << "from " << s;
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, CollLayout, ::testing::Range(0, 5));
+
+TEST(Coll, CollectivesMarkTrafficCollective) {
+  // EPC stripes collective traffic >= 16 KiB even though the calls inside
+  // the algorithm are non-blocking: observable as stripes_posted > messages.
+  Config cfg = Config::enhanced(4, Policy::EPC);
+  World w(ClusterSpec{2, 1}, cfg);
+  w.run([](Communicator& c) {
+    std::vector<std::byte> buf(2u << 20);
+    c.bcast(buf.data(), buf.size(), BYTE, 0);
+  });
+  EXPECT_GT(w.endpoint(0).stats().stripes_posted, w.endpoint(0).stats().rndv_sent);
+}
+
+TEST(Coll, ReduceNonCommutativeSafety) {
+  // Prod over doubles: result must be identical on every layout (the
+  // binomial order is fixed), and match the serial product.
+  World w(ClusterSpec{2, 2}, Config{});
+  w.run([](Communicator& c) {
+    double mine = 1.0 + 0.5 * c.rank();
+    double out = 0;
+    c.allreduce(&mine, &out, 1, DOUBLE, Op::Prod);
+    double want = 1.0;
+    for (int r = 0; r < c.size(); ++r) want *= 1.0 + 0.5 * r;
+    EXPECT_DOUBLE_EQ(out, want);
+  });
+}
+
+}  // namespace
+}  // namespace ib12x::mvx

@@ -1,0 +1,136 @@
+// Multi-rail layouts beyond one port: multiple ports per HCA and multiple
+// HCAs per node (the OSU multi-rail design this paper extends).  The key
+// physical expectation: extra ports on the SAME GX+ bus cannot beat the bus,
+// while a second HCA (its own bus) nearly doubles uni-directional bandwidth.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mvx/mpi.hpp"
+#include "mvx_test_util.hpp"
+
+namespace ib12x::mvx {
+namespace {
+
+using testutil::payload;
+
+double uni_bw(Config cfg, std::size_t bytes = 1 << 20, int count = 24) {
+  World w(ClusterSpec{2, 1}, cfg);
+  sim::Time end = 0;
+  w.run([&](Communicator& c) {
+    std::vector<std::byte> buf(bytes);
+    if (c.rank() == 0) {
+      std::vector<Request> reqs;
+      for (int i = 0; i < count; ++i) reqs.push_back(c.isend(buf.data(), bytes, BYTE, 1, 0));
+      c.waitall(reqs);
+    } else {
+      std::vector<Request> reqs;
+      for (int i = 0; i < count; ++i) reqs.push_back(c.irecv(buf.data(), bytes, BYTE, 0, 0));
+      c.waitall(reqs);
+    }
+    end = c.now();
+  });
+  return static_cast<double>(bytes) * count / static_cast<double>(end) * 1000.0;  // GB/s
+}
+
+TEST(MultiRail, TwoPortsCorrectness) {
+  Config cfg = Config::enhanced(2, Policy::EPC);
+  cfg.ports_per_hca = 2;  // 2 ports x 2 QPs = 4 rails
+  World w(ClusterSpec{2, 1}, cfg);
+  w.run([](Communicator& c) {
+    for (std::size_t n : {100ul, 65536ul, 1048576ul}) {
+      if (c.rank() == 0) {
+        auto data = payload(n, 0);
+        c.send(data.data(), n, BYTE, 1, 0);
+      } else {
+        std::vector<std::byte> got(n);
+        c.recv(got.data(), n, BYTE, 0, 0);
+        EXPECT_EQ(got, payload(n, 0));
+      }
+    }
+  });
+}
+
+TEST(MultiRail, TwoHcasCorrectness) {
+  Config cfg = Config::enhanced(1, Policy::EPC);
+  cfg.hcas_per_node = 2;
+  cfg.ports_per_hca = 2;  // 2 HCAs x 2 ports x 1 QP = 4 rails
+  World w(ClusterSpec{2, 1}, cfg);
+  w.run([](Communicator& c) {
+    for (std::size_t n : {100ul, 1048576ul}) {
+      if (c.rank() == 0) {
+        auto data = payload(n, 0);
+        c.send(data.data(), n, BYTE, 1, 0);
+        std::vector<std::byte> back(n);
+        c.recv(back.data(), n, BYTE, 1, 0);
+        EXPECT_EQ(back, payload(n, 1));
+      } else {
+        std::vector<std::byte> got(n);
+        c.recv(got.data(), n, BYTE, 0, 0);
+        EXPECT_EQ(got, payload(n, 0));
+        auto data = payload(n, 1);
+        c.send(data.data(), n, BYTE, 0, 0);
+      }
+    }
+  });
+}
+
+TEST(MultiRail, SecondPortIsBusLimited) {
+  // 2 ports x 4 QPs on one HCA: the two 12x links (6 GB/s) share one GX+
+  // bus, so uni-BW stays pinned near the bus direction rate.
+  Config one_port = Config::enhanced(4, Policy::EPC);
+  Config two_ports = Config::enhanced(4, Policy::EPC);
+  two_ports.ports_per_hca = 2;
+  const double bw1 = uni_bw(one_port);
+  const double bw2 = uni_bw(two_ports);
+  EXPECT_LT(bw2, 2.96);             // cannot beat the GX+ direction rate
+  EXPECT_GT(bw2, bw1 * 0.98);       // and must not regress
+}
+
+TEST(MultiRail, SecondHcaNearlyDoublesBandwidth) {
+  Config one = Config::enhanced(4, Policy::EPC);
+  Config two = Config::enhanced(4, Policy::EPC);
+  two.hcas_per_node = 2;
+  const double bw1 = uni_bw(one);
+  const double bw2 = uni_bw(two, 1 << 20, 32);
+  EXPECT_GT(bw2, bw1 * 1.6);  // two GX+ buses, two links
+  EXPECT_LT(bw2, bw1 * 2.1);
+}
+
+TEST(MultiRail, CollectivesAcrossPortsAndHcas) {
+  Config cfg = Config::enhanced(2, Policy::EPC);
+  cfg.hcas_per_node = 2;
+  cfg.ports_per_hca = 2;  // 8 rails
+  World w(ClusterSpec{2, 2}, cfg);
+  w.run([](Communicator& c) {
+    std::vector<std::int64_t> mine(1000, c.rank()), out(1000);
+    c.allreduce(mine.data(), out.data(), 1000, INT64, Op::Sum);
+    const int p = c.size();
+    for (std::int64_t v : out) EXPECT_EQ(v, p * (p - 1) / 2);
+
+    const std::size_t per = 64 * 1024;
+    std::vector<std::byte> sb(per * static_cast<std::size_t>(p)), rb(per * static_cast<std::size_t>(p));
+    c.alltoall(sb.data(), rb.data(), per, BYTE);
+  });
+}
+
+TEST(MultiRail, StripingSpansAllRails) {
+  Config cfg = Config::enhanced(2, Policy::EvenStriping);
+  cfg.ports_per_hca = 2;  // 4 rails over 2 ports
+  World w(ClusterSpec{2, 1}, cfg);
+  w.run([](Communicator& c) {
+    std::vector<std::byte> buf(1 << 20);
+    if (c.rank() == 0) {
+      c.send(buf.data(), buf.size(), BYTE, 1, 0);
+    } else {
+      c.recv(buf.data(), buf.size(), BYTE, 0, 0);
+    }
+  });
+  // Both ports of rank 0's HCA carried payload.
+  auto& hca = w.fabric().hca(0);
+  EXPECT_GT(hca.port(0).bytes_tx(), 100u * 1024);
+  EXPECT_GT(hca.port(1).bytes_tx(), 100u * 1024);
+}
+
+}  // namespace
+}  // namespace ib12x::mvx

@@ -1,0 +1,27 @@
+// Helpers for MPI-substrate tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mvx/mpi.hpp"
+
+namespace ib12x::mvx::testutil {
+
+/// Deterministic payload: value depends on (rank, tag, index) so misrouted
+/// or misordered bytes are detected.
+inline std::vector<std::byte> payload(std::size_t n, int rank, int tag = 0) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>((i * 31 + static_cast<std::size_t>(rank) * 131 +
+                                   static_cast<std::size_t>(tag) * 17) &
+                                  0xff);
+  }
+  return v;
+}
+
+/// Two ranks on two nodes — the paper's microbenchmark layout.
+inline World make_pair_world(Config cfg = {}) { return World(ClusterSpec{2, 1}, cfg); }
+
+}  // namespace ib12x::mvx::testutil

@@ -1,0 +1,138 @@
+// Performance-shape invariants at the MPI level — the qualitative claims of
+// the paper that must hold in the model before the figure harness means
+// anything.  Absolute numbers are checked loosely; orderings strictly.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mvx/mpi.hpp"
+#include "mvx_test_util.hpp"
+
+namespace ib12x::mvx {
+namespace {
+
+/// One-way ping-pong latency (us) for `bytes`, averaged over `iters`.
+double pingpong_us(const Config& cfg, std::size_t bytes, int iters = 60, int skip = 10) {
+  World w(ClusterSpec{2, 1}, cfg);
+  double result = 0;
+  w.run([&](Communicator& c) {
+    std::vector<std::byte> buf(std::max<std::size_t>(bytes, 1));
+    sim::Time t0 = 0;
+    for (int i = 0; i < iters; ++i) {
+      if (i == skip) t0 = c.now();
+      if (c.rank() == 0) {
+        c.send(buf.data(), bytes, BYTE, 1, 0);
+        c.recv(buf.data(), bytes, BYTE, 1, 0);
+      } else {
+        c.recv(buf.data(), bytes, BYTE, 0, 0);
+        c.send(buf.data(), bytes, BYTE, 0, 0);
+      }
+    }
+    if (c.rank() == 0) {
+      result = sim::to_us(c.now() - t0) / (2.0 * (iters - skip));
+    }
+  });
+  return result;
+}
+
+/// Uni-directional windowed bandwidth (MB/s), paper §4.2 semantics.
+double unibw_mbs(const Config& cfg, std::size_t bytes, int window = 64, int iters = 12,
+                 int skip = 2) {
+  World w(ClusterSpec{2, 1}, cfg);
+  double result = 0;
+  w.run([&](Communicator& c) {
+    std::vector<std::byte> buf(bytes * 2);
+    sim::Time t0 = 0;
+    for (int i = 0; i < iters; ++i) {
+      if (i == skip) t0 = c.now();
+      if (c.rank() == 0) {
+        std::vector<Request> reqs;
+        for (int m = 0; m < window; ++m) reqs.push_back(c.isend(buf.data(), bytes, BYTE, 1, 0));
+        c.waitall(reqs);
+        std::byte ack;
+        c.recv(&ack, 1, BYTE, 1, 1);
+      } else {
+        std::vector<Request> reqs;
+        for (int m = 0; m < window; ++m) reqs.push_back(c.irecv(buf.data(), bytes, BYTE, 0, 0));
+        c.waitall(reqs);
+        std::byte ack{};
+        c.send(&ack, 1, BYTE, 0, 1);
+      }
+    }
+    if (c.rank() == 0) {
+      const double secs = sim::to_s(c.now() - t0);
+      result = static_cast<double>(bytes) * window * (iters - skip) / secs / 1e6;
+    }
+  });
+  return result;
+}
+
+TEST(PerfShape, SmallLatencyEpcMatchesOriginal) {
+  // Paper fig. 3: EPC adds negligible overhead for small messages.
+  const double orig = pingpong_us(Config::original(), 8);
+  const double epc = pingpong_us(Config::enhanced(4, Policy::EPC), 8);
+  EXPECT_NEAR(epc, orig, orig * 0.05);
+  // Sanity: a 2007-era small-message MPI latency lands in 3.5–6.5 us.
+  EXPECT_GT(orig, 3.0);
+  EXPECT_LT(orig, 7.0);
+}
+
+TEST(PerfShape, LargeLatencyStripingWins) {
+  // Paper fig. 4: EPC/striping beat binding and RR by ~33% at 1 MiB.
+  const double orig = pingpong_us(Config::original(), 1 << 20, 20, 4);
+  const double epc = pingpong_us(Config::enhanced(4, Policy::EPC), 1 << 20, 20, 4);
+  const double stripe = pingpong_us(Config::enhanced(4, Policy::EvenStriping), 1 << 20, 20, 4);
+  const double rr = pingpong_us(Config::enhanced(4, Policy::RoundRobin), 1 << 20, 20, 4);
+  const double bind = pingpong_us(Config::enhanced(4, Policy::Binding), 1 << 20, 20, 4);
+
+  EXPECT_LT(epc, orig * 0.75);          // >= 25% better than original
+  EXPECT_NEAR(epc, stripe, epc * 0.05); // EPC blocking == striping
+  EXPECT_NEAR(rr, bind, rr * 0.10);     // RR/binding cannot split one message
+  EXPECT_LT(epc, rr * 0.8);
+}
+
+TEST(PerfShape, UniBandwidthPeaks) {
+  // Paper fig. 6 envelope: original ~1661 MB/s, EPC ~2745 MB/s at 1 MiB.
+  const double orig = unibw_mbs(Config::original(), 1 << 20);
+  const double epc = unibw_mbs(Config::enhanced(4, Policy::EPC), 1 << 20);
+  EXPECT_GT(orig, 1450);
+  EXPECT_LT(orig, 1800);
+  EXPECT_GT(epc, 2450);
+  EXPECT_LT(epc, 2950);
+  EXPECT_GT(epc / orig, 1.5);  // the paper reports ~65%
+}
+
+TEST(PerfShape, MediumNonblockingStripingLosesToEpc) {
+  // Paper fig. 6: even striping is clearly worse than EPC (== RR for
+  // non-blocking) in the 16K–64K range, converging by 1 MiB.
+  const double epc16 = unibw_mbs(Config::enhanced(4, Policy::EPC), 16 * 1024);
+  const double str16 = unibw_mbs(Config::enhanced(4, Policy::EvenStriping), 16 * 1024);
+  EXPECT_GT(epc16, str16 * 1.10);
+
+  const double epc1m = unibw_mbs(Config::enhanced(4, Policy::EPC), 1 << 20);
+  const double str1m = unibw_mbs(Config::enhanced(4, Policy::EvenStriping), 1 << 20);
+  EXPECT_NEAR(epc1m, str1m, epc1m * 0.08);  // converged
+}
+
+TEST(PerfShape, SmallMessageRRGainsAppearAboveOneKb) {
+  // Paper fig. 5: below ~1 KiB startup dominates and extra QPs don't help;
+  // from 1–8 KiB the 4QP round-robin pulls ahead.
+  const double orig8k = unibw_mbs(Config::original(), 8 * 1024);
+  const double epc8k = unibw_mbs(Config::enhanced(4, Policy::EPC), 8 * 1024);
+  EXPECT_GT(epc8k, orig8k * 1.25);
+
+  const double orig128 = unibw_mbs(Config::original(), 128);
+  const double epc128 = unibw_mbs(Config::enhanced(4, Policy::EPC), 128);
+  EXPECT_LT(epc128, orig128 * 1.35);  // little room to win at 128 B
+}
+
+TEST(PerfShape, MoreQpsNeverHurtLatency) {
+  for (std::size_t bytes : {8ul, 1024ul, 65536ul}) {
+    const double q1 = pingpong_us(Config::enhanced(1, Policy::EPC), bytes, 30, 6);
+    const double q4 = pingpong_us(Config::enhanced(4, Policy::EPC), bytes, 30, 6);
+    EXPECT_LE(q4, q1 * 1.05) << bytes << " bytes";
+  }
+}
+
+}  // namespace
+}  // namespace ib12x::mvx

@@ -1,0 +1,85 @@
+#include "mvx/policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ib12x::mvx {
+namespace {
+
+constexpr std::int64_t kThresh = 16 * 1024;
+
+TEST(Policy, BindingAlwaysRailZero) {
+  RailCursor cur;
+  for (std::int64_t size : {0L, 100L, 1L << 20}) {
+    for (auto kind : {CommKind::Blocking, CommKind::Nonblocking, CommKind::Collective}) {
+      Schedule s = choose_schedule(Policy::Binding, kind, size, 4, kThresh, cur);
+      EXPECT_FALSE(s.stripe);
+      EXPECT_EQ(s.rail, 0);
+    }
+  }
+}
+
+TEST(Policy, RoundRobinCycles) {
+  RailCursor cur;
+  for (int i = 0; i < 12; ++i) {
+    Schedule s = choose_schedule(Policy::RoundRobin, CommKind::Blocking, 1024, 4, kThresh, cur);
+    EXPECT_FALSE(s.stripe);
+    EXPECT_EQ(s.rail, i % 4);
+  }
+}
+
+TEST(Policy, StripingRespectsThreshold) {
+  RailCursor cur;
+  EXPECT_FALSE(choose_schedule(Policy::EvenStriping, CommKind::Blocking, kThresh - 1, 4, kThresh, cur).stripe);
+  EXPECT_TRUE(choose_schedule(Policy::EvenStriping, CommKind::Blocking, kThresh, 4, kThresh, cur).stripe);
+  EXPECT_TRUE(choose_schedule(Policy::EvenStriping, CommKind::Blocking, 1 << 20, 4, kThresh, cur).stripe);
+}
+
+TEST(Policy, StripingSmallUsesSingleQp) {
+  // Paper fig. 3: below the threshold only one QP carries the message.
+  RailCursor cur;
+  for (int i = 0; i < 5; ++i) {
+    Schedule s = choose_schedule(Policy::EvenStriping, CommKind::Blocking, 8, 4, kThresh, cur);
+    EXPECT_FALSE(s.stripe);
+    EXPECT_EQ(s.rail, 0);
+  }
+}
+
+TEST(Policy, EpcMatchesMarker) {
+  RailCursor cur;
+  // Blocking large → stripe.
+  EXPECT_TRUE(choose_schedule(Policy::EPC, CommKind::Blocking, 1 << 20, 4, kThresh, cur).stripe);
+  // Blocking small → single rail 0 (original-like).
+  Schedule s = choose_schedule(Policy::EPC, CommKind::Blocking, 64, 4, kThresh, cur);
+  EXPECT_FALSE(s.stripe);
+  EXPECT_EQ(s.rail, 0);
+  // Non-blocking large → round robin, never stripes.
+  RailCursor cur2;
+  for (int i = 0; i < 8; ++i) {
+    Schedule nb = choose_schedule(Policy::EPC, CommKind::Nonblocking, 1 << 20, 4, kThresh, cur2);
+    EXPECT_FALSE(nb.stripe);
+    EXPECT_EQ(nb.rail, i % 4);
+  }
+  // Collective large → stripe (even though collectives issue non-blocking calls).
+  EXPECT_TRUE(choose_schedule(Policy::EPC, CommKind::Collective, 1 << 20, 4, kThresh, cur).stripe);
+  // Collective small → round robin.
+  EXPECT_FALSE(choose_schedule(Policy::EPC, CommKind::Collective, 1024, 4, kThresh, cur).stripe);
+}
+
+TEST(Policy, SingleRailShortCircuits) {
+  RailCursor cur;
+  for (auto p : {Policy::Binding, Policy::RoundRobin, Policy::EvenStriping, Policy::EPC,
+                 Policy::WeightedStriping, Policy::Adaptive}) {
+    Schedule s = choose_schedule(p, CommKind::Blocking, 1 << 20, 1, kThresh, cur);
+    EXPECT_FALSE(s.stripe);
+    EXPECT_EQ(s.rail, 0);
+  }
+}
+
+TEST(Policy, Names) {
+  EXPECT_STREQ(to_string(Policy::EPC), "EPC");
+  EXPECT_STREQ(to_string(Policy::EvenStriping), "even-striping");
+  EXPECT_STREQ(to_string(CommKind::Collective), "collective");
+}
+
+}  // namespace
+}  // namespace ib12x::mvx

@@ -1,0 +1,189 @@
+// NAS kernel correctness: IS verification/determinism across configurations,
+// FT self-consistency (inverse-of-forward) and checksum invariance.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+#include "mvx/mpi.hpp"
+#include "nas/fft.hpp"
+#include "nas/ft.hpp"
+#include "nas/is.hpp"
+
+namespace ib12x::nas {
+namespace {
+
+using mvx::ClusterSpec;
+using mvx::Config;
+using mvx::Policy;
+using mvx::World;
+
+TEST(Fft, MatchesNaiveDft) {
+  const std::size_t n = 16;
+  Fft fft(n);
+  std::vector<Complex> a(n), naive(n);
+  for (std::size_t i = 0; i < n; ++i) a[i] = Complex(std::sin(0.3 * static_cast<double>(i)), 0.1 * static_cast<double>(i));
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex s(0, 0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = -2.0 * 3.14159265358979323846 * static_cast<double>(k * j) / static_cast<double>(n);
+      s += a[j] * Complex(std::cos(ang), std::sin(ang));
+    }
+    naive[k] = s;
+  }
+  std::vector<Complex> b = a;
+  fft.transform(b.data(), -1);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(b[k].real(), naive[k].real(), 1e-9);
+    EXPECT_NEAR(b[k].imag(), naive[k].imag(), 1e-9);
+  }
+}
+
+TEST(Fft, InverseRecoversInput) {
+  const std::size_t n = 256;
+  Fft fft(n);
+  std::vector<Complex> a(n);
+  for (std::size_t i = 0; i < n; ++i) a[i] = Complex(static_cast<double>(i % 17), -static_cast<double>(i % 5));
+  std::vector<Complex> b = a;
+  fft.transform(b.data(), -1);
+  fft.transform(b.data(), +1);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(b[i].real(), a[i].real(), 1e-9);
+    EXPECT_NEAR(b[i].imag(), a[i].imag(), 1e-9);
+  }
+}
+
+TEST(Fft, StridedEqualsContiguous) {
+  const std::size_t n = 64, stride = 7;
+  Fft fft(n);
+  std::vector<Complex> packed(n), strided(n * stride);
+  for (std::size_t i = 0; i < n; ++i) {
+    packed[i] = Complex(std::cos(0.1 * static_cast<double>(i)), 0.2);
+    strided[i * stride] = packed[i];
+  }
+  fft.transform(packed.data(), -1);
+  fft.transform_strided(strided.data(), stride, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(strided[i * stride].real(), packed[i].real(), 1e-9);
+    EXPECT_NEAR(strided[i * stride].imag(), packed[i].imag(), 1e-9);
+  }
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(Fft(12), std::invalid_argument);
+  EXPECT_THROW(Fft(0), std::invalid_argument);
+}
+
+TEST(NasIs, ClassSVerifiesOnLayouts) {
+  for (ClusterSpec spec : {ClusterSpec{2, 1}, ClusterSpec{2, 2}, ClusterSpec{2, 4}}) {
+    World w(spec, Config::enhanced(4, Policy::EPC));
+    IsResult r0;
+    w.run([&](mvx::Communicator& c) {
+      IsResult r = run_is(c, NasClass::S);
+      if (c.rank() == 0) r0 = r;
+    });
+    EXPECT_TRUE(r0.verified) << spec.nodes << "x" << spec.procs_per_node;
+    EXPECT_GT(r0.seconds, 0.0);
+  }
+}
+
+TEST(NasIs, ChecksumInvariantAcrossPoliciesAndQps) {
+  // The sort result must not depend on how bytes travel.
+  std::uint64_t reference = 0;
+  bool have_ref = false;
+  for (Config cfg : {Config::original(), Config::enhanced(4, Policy::EPC),
+                     Config::enhanced(4, Policy::EvenStriping),
+                     Config::enhanced(2, Policy::RoundRobin)}) {
+    World w(ClusterSpec{2, 2}, cfg);
+    std::uint64_t checksum = 0;
+    w.run([&](mvx::Communicator& c) {
+      IsResult r = run_is(c, NasClass::S);
+      if (c.rank() == 0) checksum = r.checksum;
+    });
+    if (!have_ref) {
+      reference = checksum;
+      have_ref = true;
+    } else {
+      EXPECT_EQ(checksum, reference);
+    }
+  }
+}
+
+TEST(NasIs, EpcFasterThanOriginalClassS) {
+  double t_orig = 0, t_epc = 0;
+  {
+    World w(ClusterSpec{2, 1}, Config::original());
+    w.run([&](mvx::Communicator& c) {
+      IsResult r = run_is(c, NasClass::S);
+      if (c.rank() == 0) t_orig = r.seconds;
+    });
+  }
+  {
+    World w(ClusterSpec{2, 1}, Config::enhanced(4, Policy::EPC));
+    w.run([&](mvx::Communicator& c) {
+      IsResult r = run_is(c, NasClass::S);
+      if (c.rank() == 0) t_epc = r.seconds;
+    });
+  }
+  EXPECT_LT(t_epc, t_orig);
+}
+
+TEST(NasFt, ClassSVerifiesOnLayouts) {
+  for (ClusterSpec spec : {ClusterSpec{2, 1}, ClusterSpec{2, 2}, ClusterSpec{2, 4}}) {
+    World w(spec, Config::enhanced(4, Policy::EPC));
+    FtResult r0;
+    w.run([&](mvx::Communicator& c) {
+      FtResult r = run_ft(c, NasClass::S);
+      if (c.rank() == 0) r0 = r;
+    });
+    EXPECT_TRUE(r0.verified);
+    EXPECT_EQ(r0.checksums.size(), 4u);
+    EXPECT_GT(r0.seconds, 0.0);
+  }
+}
+
+TEST(NasFt, ChecksumsInvariantAcrossConfigs) {
+  std::vector<std::complex<double>> reference;
+  for (Config cfg : {Config::original(), Config::enhanced(4, Policy::EPC)}) {
+    for (ClusterSpec spec : {ClusterSpec{2, 1}, ClusterSpec{2, 2}}) {
+      World w(spec, cfg);
+      std::vector<std::complex<double>> cs;
+      w.run([&](mvx::Communicator& c) {
+        FtResult r = run_ft(c, NasClass::S);
+        if (c.rank() == 0) cs = r.checksums;
+      });
+      if (reference.empty()) {
+        reference = cs;
+      } else {
+        ASSERT_EQ(cs.size(), reference.size());
+        for (std::size_t i = 0; i < cs.size(); ++i) {
+          EXPECT_NEAR(cs[i].real(), reference[i].real(), 1e-6) << "iter " << i;
+          EXPECT_NEAR(cs[i].imag(), reference[i].imag(), 1e-6) << "iter " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(NasFt, ChecksumDecaysMonotonically) {
+  // The evolution factor exp(-4π²α|k|²t) damps the field each step, so the
+  // checksum magnitude must shrink over iterations.
+  World w(ClusterSpec{2, 2}, Config::enhanced(4, Policy::EPC));
+  std::vector<std::complex<double>> cs;
+  w.run([&](mvx::Communicator& c) {
+    FtResult r = run_ft(c, NasClass::S);
+    if (c.rank() == 0) cs = r.checksums;
+  });
+  for (std::size_t i = 1; i < cs.size(); ++i) {
+    EXPECT_LT(std::abs(cs[i]), std::abs(cs[i - 1]) + 1e-12);
+  }
+}
+
+TEST(NasFt, RejectsBadDecomposition) {
+  World w(ClusterSpec{3, 1}, Config{});
+  EXPECT_THROW(w.run([](mvx::Communicator& c) { run_ft(c, NasClass::S); }),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ib12x::nas

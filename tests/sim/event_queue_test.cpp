@@ -1,0 +1,83 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ib12x::sim {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.pushed(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(30, [&] { order.push_back(3); });
+  q.push(10, [&] { order.push_back(1); });
+  q.push(20, [&] { order.push_back(2); });
+  while (!q.empty()) {
+    Time t = 0;
+    q.pop(t)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 64; ++i) {
+    q.push(100, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) {
+    Time t = 0;
+    q.pop(t)();
+  }
+  ASSERT_EQ(order.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, MixedTimesAndTies) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(5, [&] { order.push_back(0); });
+  q.push(5, [&] { order.push_back(1); });
+  q.push(1, [&] { order.push_back(2); });
+  q.push(5, [&] { order.push_back(3); });
+  Time t = 0;
+  std::vector<Time> times;
+  while (!q.empty()) {
+    q.pop(t)();
+    times.push_back(t);
+  }
+  EXPECT_EQ(order, (std::vector<int>{2, 0, 1, 3}));
+  EXPECT_EQ(times, (std::vector<Time>{1, 5, 5, 5}));
+}
+
+TEST(EventQueue, NextTimeTracksEarliest) {
+  EventQueue q;
+  q.push(50, [] {});
+  q.push(20, [] {});
+  EXPECT_EQ(q.next_time(), 20);
+  Time t = 0;
+  q.pop(t);
+  EXPECT_EQ(q.next_time(), 50);
+}
+
+TEST(EventQueue, PushedCounterIsMonotone) {
+  EventQueue q;
+  q.push(1, [] {});
+  q.push(2, [] {});
+  Time t = 0;
+  q.pop(t);
+  EXPECT_EQ(q.pushed(), 2u);
+  q.push(3, [] {});
+  EXPECT_EQ(q.pushed(), 3u);
+}
+
+}  // namespace
+}  // namespace ib12x::sim

@@ -1,0 +1,178 @@
+#include "sim/process.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace ib12x::sim {
+namespace {
+
+TEST(Process, ComputeAdvancesVirtualTime) {
+  Simulator sim;
+  ProcessSet procs(sim);
+  Time end = -1;
+  procs.add("p0", [&](Process& p) {
+    p.compute(microseconds(5));
+    p.compute(microseconds(2));
+    end = p.now();
+  });
+  procs.run_all();
+  EXPECT_EQ(end, microseconds(7));
+}
+
+TEST(Process, TwoProcessesInterleaveDeterministically) {
+  Simulator sim;
+  ProcessSet procs(sim);
+  std::vector<std::string> trace;
+  procs.add("a", [&](Process& p) {
+    trace.push_back("a@" + std::to_string(p.now()));
+    p.compute(10);
+    trace.push_back("a@" + std::to_string(p.now()));
+  });
+  procs.add("b", [&](Process& p) {
+    trace.push_back("b@" + std::to_string(p.now()));
+    p.compute(5);
+    trace.push_back("b@" + std::to_string(p.now()));
+  });
+  procs.run_all();
+  EXPECT_EQ(trace, (std::vector<std::string>{"a@0", "b@0", "b@5", "a@10"}));
+}
+
+TEST(Process, WaitableWakesBlockedProcess) {
+  Simulator sim;
+  ProcessSet procs(sim);
+  Waitable w;
+  bool flag = false;
+  Time woke_at = -1;
+  procs.add("waiter", [&](Process& p) {
+    p.wait_until(w, [&] { return flag; });
+    woke_at = p.now();
+  });
+  procs.add("notifier", [&](Process& p) {
+    p.compute(100);
+    flag = true;
+    w.notify_all();
+  });
+  procs.run_all();
+  EXPECT_EQ(woke_at, 100);
+}
+
+TEST(Process, WaitUntilRechecksPredicate) {
+  Simulator sim;
+  ProcessSet procs(sim);
+  Waitable w;
+  int counter = 0;
+  procs.add("waiter", [&](Process& p) {
+    p.wait_until(w, [&] { return counter >= 3; });
+    EXPECT_EQ(p.now(), 30);
+  });
+  procs.add("ticker", [&](Process& p) {
+    for (int i = 0; i < 3; ++i) {
+      p.compute(10);
+      ++counter;
+      w.notify_all();  // first two notifies find the predicate still false
+    }
+  });
+  procs.run_all();
+}
+
+TEST(Process, NotifyWithNoWaitersIsNoOp) {
+  Simulator sim;
+  Waitable w;
+  w.notify_all();  // must not crash or schedule anything
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Process, ManyWaitersAllWake) {
+  Simulator sim;
+  ProcessSet procs(sim);
+  Waitable w;
+  bool open = false;
+  int woke = 0;
+  for (int i = 0; i < 8; ++i) {
+    procs.add("w" + std::to_string(i), [&](Process& p) {
+      p.wait_until(w, [&] { return open; });
+      ++woke;
+    });
+  }
+  procs.add("opener", [&](Process& p) {
+    p.compute(50);
+    open = true;
+    w.notify_all();
+  });
+  procs.run_all();
+  EXPECT_EQ(woke, 8);
+}
+
+TEST(Process, DeadlockIsDiagnosed) {
+  Simulator sim;
+  ProcessSet procs(sim);
+  Waitable w;
+  procs.add("stuck", [&](Process& p) {
+    p.wait(w);  // nobody will ever notify
+  });
+  EXPECT_THROW(procs.run_all(), std::runtime_error);
+}
+
+TEST(Process, BodyExceptionPropagates) {
+  Simulator sim;
+  ProcessSet procs(sim);
+  procs.add("thrower", [](Process& p) {
+    p.compute(1);
+    throw std::runtime_error("boom");
+  });
+  EXPECT_THROW(procs.run_all(), std::runtime_error);
+}
+
+TEST(Process, YieldLetsSameInstantEventsRun) {
+  Simulator sim;
+  ProcessSet procs(sim);
+  bool event_ran = false;
+  procs.add("p", [&](Process& p) {
+    p.simulator().after(0, [&] { event_ran = true; });
+    EXPECT_FALSE(event_ran);
+    p.yield();
+    EXPECT_TRUE(event_ran);
+    EXPECT_EQ(p.now(), 0);
+  });
+  procs.run_all();
+}
+
+TEST(Process, NegativeComputeThrows) {
+  Simulator sim;
+  ProcessSet procs(sim);
+  procs.add("p", [](Process& p) { p.compute(-1); });
+  EXPECT_THROW(procs.run_all(), std::logic_error);
+}
+
+TEST(Process, RunIsDeterministicAcrossRepeats) {
+  auto run_once = [] {
+    Simulator sim;
+    ProcessSet procs(sim);
+    Waitable w;
+    std::vector<Time> stamps;
+    int turns = 0;
+    procs.add("ping", [&](Process& p) {
+      for (int i = 0; i < 5; ++i) {
+        p.compute(3);
+        ++turns;
+        w.notify_all();
+        stamps.push_back(p.now());
+      }
+    });
+    procs.add("pong", [&](Process& p) {
+      p.wait_until(w, [&] { return turns >= 5; });
+      stamps.push_back(p.now());
+    });
+    procs.run_all();
+    return stamps;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace ib12x::sim

@@ -1,0 +1,73 @@
+#include "sim/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/time.hpp"
+
+namespace ib12x::sim {
+namespace {
+
+TEST(Server, BackToBackReservations) {
+  Server s("cpu");
+  auto r1 = s.reserve(/*now=*/0, /*earliest=*/0, /*service=*/100);
+  EXPECT_EQ(r1.start, 0);
+  EXPECT_EQ(r1.finish, 100);
+  auto r2 = s.reserve(0, 0, 50);
+  EXPECT_EQ(r2.start, 100);  // queues behind r1
+  EXPECT_EQ(r2.finish, 150);
+}
+
+TEST(Server, EarliestDelaysStart) {
+  Server s;
+  auto r = s.reserve(0, 500, 100);
+  EXPECT_EQ(r.start, 500);
+  EXPECT_EQ(r.finish, 600);
+}
+
+TEST(Server, NowDelaysStart) {
+  Server s;
+  auto r = s.reserve(1000, 0, 10);
+  EXPECT_EQ(r.start, 1000);
+}
+
+TEST(Server, IdleGapsDoNotAccumulateBusyTime) {
+  Server s;
+  s.reserve(0, 0, 100);
+  s.reserve(1000, 0, 100);  // idle between 100 and 1000
+  EXPECT_EQ(s.busy_time(), 200);
+  EXPECT_EQ(s.jobs(), 2u);
+}
+
+TEST(Server, ResetStats) {
+  Server s;
+  s.reserve(0, 0, 42);
+  s.reset_stats();
+  EXPECT_EQ(s.busy_time(), 0);
+  EXPECT_EQ(s.jobs(), 0u);
+  // free_at is model state, not a statistic: it survives reset.
+  EXPECT_EQ(s.free_at(), 42);
+}
+
+TEST(BandwidthServer, BytesAtRate) {
+  BandwidthServer s("link", 2.0);  // 2 GB/s == 2 bytes/ns
+  auto r = s.reserve_bytes(0, 0, 2000);
+  EXPECT_EQ(r.finish - r.start, microseconds(1.0));
+  EXPECT_DOUBLE_EQ(s.rate(), 2.0);
+}
+
+TEST(BandwidthServer, SerializesLikeServer) {
+  BandwidthServer s("link", 1.0);
+  auto r1 = s.reserve_bytes(0, 0, 1000);
+  auto r2 = s.reserve_bytes(0, 0, 1000);
+  EXPECT_EQ(r2.start, r1.finish);
+  EXPECT_EQ(s.jobs(), 2u);
+}
+
+TEST(BandwidthServer, ZeroBytesTakeZeroTime) {
+  BandwidthServer s("link", 3.0);
+  auto r = s.reserve_bytes(10, 0, 0);
+  EXPECT_EQ(r.start, r.finish);
+}
+
+}  // namespace
+}  // namespace ib12x::sim

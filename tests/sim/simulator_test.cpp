@@ -1,0 +1,103 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace ib12x::sim {
+namespace {
+
+TEST(Time, UnitConversionsRoundTrip) {
+  EXPECT_EQ(microseconds(1.0), 1'000'000);
+  EXPECT_DOUBLE_EQ(to_us(microseconds(3.5)), 3.5);
+  EXPECT_DOUBLE_EQ(to_ns(nanoseconds(250)), 250.0);
+  EXPECT_EQ(seconds(1.0), kSecond);
+}
+
+TEST(Time, TransferTimeMatchesRate) {
+  // 3 GB/s moves 3 bytes per ns, so 3000 bytes take 1 us.
+  EXPECT_EQ(transfer_time(3000, 3.0), microseconds(1.0));
+  // 1 MiB at 1 GB/s ≈ 1048.576 us.
+  EXPECT_NEAR(to_us(transfer_time(1 << 20, 1.0)), 1048.576, 0.001);
+}
+
+TEST(Time, RateComputation) {
+  Time t = transfer_time(1'000'000, 2.0);  // 1 MB at 2 GB/s
+  EXPECT_NEAR(rate_mb_per_s(1'000'000, t), 2000.0, 0.1);
+  EXPECT_EQ(rate_mb_per_s(100, 0), 0.0);
+}
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator s;
+  Time seen = -1;
+  s.at(100, [&] { seen = s.now(); });
+  s.run();
+  EXPECT_EQ(seen, 100);
+  EXPECT_EQ(s.now(), 100);
+}
+
+TEST(Simulator, AfterSchedulesRelative) {
+  Simulator s;
+  std::vector<Time> stamps;
+  s.at(10, [&] {
+    stamps.push_back(s.now());
+    s.after(5, [&] { stamps.push_back(s.now()); });
+  });
+  s.run();
+  EXPECT_EQ(stamps, (std::vector<Time>{10, 15}));
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+  Simulator s;
+  s.at(100, [] {});
+  s.run();
+  EXPECT_THROW(s.at(50, [] {}), std::logic_error);
+}
+
+TEST(Simulator, RunUntilLeavesLaterEvents) {
+  Simulator s;
+  int fired = 0;
+  s.at(10, [&] { ++fired; });
+  s.at(20, [&] { ++fired; });
+  s.at(30, [&] { ++fired; });
+  s.run_until(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.now(), 20);
+  EXPECT_EQ(s.events_pending(), 1u);
+  s.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockToDeadline) {
+  Simulator s;
+  s.run_until(500);
+  EXPECT_EQ(s.now(), 500);
+}
+
+TEST(Simulator, EventCountersTrack) {
+  Simulator s;
+  for (int i = 0; i < 10; ++i) s.at(i, [] {});
+  s.run();
+  EXPECT_EQ(s.events_processed(), 10u);
+  EXPECT_EQ(s.events_scheduled(), 10u);
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(Simulator, CascadedEventsRunSameInstant) {
+  Simulator s;
+  std::vector<int> order;
+  s.at(7, [&] {
+    order.push_back(1);
+    s.after(0, [&] { order.push_back(3); });
+    order.push_back(2);
+  });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 7);
+}
+
+}  // namespace
+}  // namespace ib12x::sim
