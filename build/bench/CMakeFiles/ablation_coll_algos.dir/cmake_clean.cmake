@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_coll_algos.dir/ablation_coll_algos.cpp.o"
+  "CMakeFiles/ablation_coll_algos.dir/ablation_coll_algos.cpp.o.d"
+  "ablation_coll_algos"
+  "ablation_coll_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_coll_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

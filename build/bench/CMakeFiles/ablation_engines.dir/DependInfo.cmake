@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_engines.cpp" "bench/CMakeFiles/ablation_engines.dir/ablation_engines.cpp.o" "gcc" "bench/CMakeFiles/ablation_engines.dir/ablation_engines.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/ib12x_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/nas/CMakeFiles/ib12x_nas.dir/DependInfo.cmake"
+  "/root/repo/build/src/mvx/CMakeFiles/ib12x_mvx.dir/DependInfo.cmake"
+  "/root/repo/build/src/ib/CMakeFiles/ib12x_ib.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ib12x_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

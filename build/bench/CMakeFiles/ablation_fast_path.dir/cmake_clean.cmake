@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fast_path.dir/ablation_fast_path.cpp.o"
+  "CMakeFiles/ablation_fast_path.dir/ablation_fast_path.cpp.o.d"
+  "ablation_fast_path"
+  "ablation_fast_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fast_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

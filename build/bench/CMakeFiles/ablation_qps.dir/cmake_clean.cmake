@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_qps.dir/ablation_qps.cpp.o"
+  "CMakeFiles/ablation_qps.dir/ablation_qps.cpp.o.d"
+  "ablation_qps"
+  "ablation_qps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_qps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rails.dir/ablation_rails.cpp.o"
+  "CMakeFiles/ablation_rails.dir/ablation_rails.cpp.o.d"
+  "ablation_rails"
+  "ablation_rails.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rails.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

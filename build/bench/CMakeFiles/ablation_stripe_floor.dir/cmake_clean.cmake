@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stripe_floor.dir/ablation_stripe_floor.cpp.o"
+  "CMakeFiles/ablation_stripe_floor.dir/ablation_stripe_floor.cpp.o.d"
+  "ablation_stripe_floor"
+  "ablation_stripe_floor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stripe_floor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

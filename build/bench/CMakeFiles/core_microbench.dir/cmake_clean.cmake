@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_microbench.dir/core_microbench.cpp.o"
+  "CMakeFiles/core_microbench.dir/core_microbench.cpp.o.d"
+  "core_microbench"
+  "core_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

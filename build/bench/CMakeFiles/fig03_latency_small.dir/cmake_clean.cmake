@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_latency_small.dir/fig03_latency_small.cpp.o"
+  "CMakeFiles/fig03_latency_small.dir/fig03_latency_small.cpp.o.d"
+  "fig03_latency_small"
+  "fig03_latency_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_latency_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

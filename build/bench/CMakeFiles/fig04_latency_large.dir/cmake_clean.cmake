@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_latency_large.dir/fig04_latency_large.cpp.o"
+  "CMakeFiles/fig04_latency_large.dir/fig04_latency_large.cpp.o.d"
+  "fig04_latency_large"
+  "fig04_latency_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_latency_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

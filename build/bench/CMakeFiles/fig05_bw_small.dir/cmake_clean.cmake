@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_bw_small.dir/fig05_bw_small.cpp.o"
+  "CMakeFiles/fig05_bw_small.dir/fig05_bw_small.cpp.o.d"
+  "fig05_bw_small"
+  "fig05_bw_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_bw_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

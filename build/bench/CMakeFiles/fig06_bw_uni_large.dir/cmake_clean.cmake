@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_bw_uni_large.dir/fig06_bw_uni_large.cpp.o"
+  "CMakeFiles/fig06_bw_uni_large.dir/fig06_bw_uni_large.cpp.o.d"
+  "fig06_bw_uni_large"
+  "fig06_bw_uni_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_bw_uni_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_bw_uni_large.
+# This may be replaced when dependencies are built.

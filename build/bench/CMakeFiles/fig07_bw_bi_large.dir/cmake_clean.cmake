@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_bw_bi_large.dir/fig07_bw_bi_large.cpp.o"
+  "CMakeFiles/fig07_bw_bi_large.dir/fig07_bw_bi_large.cpp.o.d"
+  "fig07_bw_bi_large"
+  "fig07_bw_bi_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_bw_bi_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

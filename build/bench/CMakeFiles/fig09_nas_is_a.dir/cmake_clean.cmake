@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_nas_is_a.dir/fig09_nas_is_a.cpp.o"
+  "CMakeFiles/fig09_nas_is_a.dir/fig09_nas_is_a.cpp.o.d"
+  "fig09_nas_is_a"
+  "fig09_nas_is_a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_nas_is_a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig09_nas_is_a.
+# This may be replaced when dependencies are built.

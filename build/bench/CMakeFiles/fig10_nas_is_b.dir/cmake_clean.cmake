@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_nas_is_b.dir/fig10_nas_is_b.cpp.o"
+  "CMakeFiles/fig10_nas_is_b.dir/fig10_nas_is_b.cpp.o.d"
+  "fig10_nas_is_b"
+  "fig10_nas_is_b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_nas_is_b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_nas_ft_a.dir/fig11_nas_ft_a.cpp.o"
+  "CMakeFiles/fig11_nas_ft_a.dir/fig11_nas_ft_a.cpp.o.d"
+  "fig11_nas_ft_a"
+  "fig11_nas_ft_a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_nas_ft_a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_nas_ft_a.
+# This may be replaced when dependencies are built.

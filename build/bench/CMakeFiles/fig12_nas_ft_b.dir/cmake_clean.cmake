@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_nas_ft_b.dir/fig12_nas_ft_b.cpp.o"
+  "CMakeFiles/fig12_nas_ft_b.dir/fig12_nas_ft_b.cpp.o.d"
+  "fig12_nas_ft_b"
+  "fig12_nas_ft_b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_nas_ft_b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

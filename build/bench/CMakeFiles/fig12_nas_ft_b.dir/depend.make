@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_nas_ft_b.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nas_cg_nodegradation.dir/nas_cg_nodegradation.cpp.o"
+  "CMakeFiles/nas_cg_nodegradation.dir/nas_cg_nodegradation.cpp.o.d"
+  "nas_cg_nodegradation"
+  "nas_cg_nodegradation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nas_cg_nodegradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for nas_cg_nodegradation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pallas_collectives.dir/pallas_collectives.cpp.o"
+  "CMakeFiles/pallas_collectives.dir/pallas_collectives.cpp.o.d"
+  "pallas_collectives"
+  "pallas_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pallas_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nas_runner.dir/nas_runner.cpp.o"
+  "CMakeFiles/nas_runner.dir/nas_runner.cpp.o.d"
+  "nas_runner"
+  "nas_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nas_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ib12x_harness.dir/runner.cpp.o"
+  "CMakeFiles/ib12x_harness.dir/runner.cpp.o.d"
+  "CMakeFiles/ib12x_harness.dir/table.cpp.o"
+  "CMakeFiles/ib12x_harness.dir/table.cpp.o.d"
+  "libib12x_harness.a"
+  "libib12x_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ib12x_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ib12x_harness.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ib/fabric.cpp" "src/ib/CMakeFiles/ib12x_ib.dir/fabric.cpp.o" "gcc" "src/ib/CMakeFiles/ib12x_ib.dir/fabric.cpp.o.d"
+  "/root/repo/src/ib/hca.cpp" "src/ib/CMakeFiles/ib12x_ib.dir/hca.cpp.o" "gcc" "src/ib/CMakeFiles/ib12x_ib.dir/hca.cpp.o.d"
+  "/root/repo/src/ib/mem.cpp" "src/ib/CMakeFiles/ib12x_ib.dir/mem.cpp.o" "gcc" "src/ib/CMakeFiles/ib12x_ib.dir/mem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ib12x_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ib12x_ib.dir/fabric.cpp.o"
+  "CMakeFiles/ib12x_ib.dir/fabric.cpp.o.d"
+  "CMakeFiles/ib12x_ib.dir/hca.cpp.o"
+  "CMakeFiles/ib12x_ib.dir/hca.cpp.o.d"
+  "CMakeFiles/ib12x_ib.dir/mem.cpp.o"
+  "CMakeFiles/ib12x_ib.dir/mem.cpp.o.d"
+  "libib12x_ib.a"
+  "libib12x_ib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ib12x_ib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libib12x_ib.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mvx/coll.cpp" "src/mvx/CMakeFiles/ib12x_mvx.dir/coll.cpp.o" "gcc" "src/mvx/CMakeFiles/ib12x_mvx.dir/coll.cpp.o.d"
+  "/root/repo/src/mvx/comm.cpp" "src/mvx/CMakeFiles/ib12x_mvx.dir/comm.cpp.o" "gcc" "src/mvx/CMakeFiles/ib12x_mvx.dir/comm.cpp.o.d"
+  "/root/repo/src/mvx/datatype.cpp" "src/mvx/CMakeFiles/ib12x_mvx.dir/datatype.cpp.o" "gcc" "src/mvx/CMakeFiles/ib12x_mvx.dir/datatype.cpp.o.d"
+  "/root/repo/src/mvx/endpoint.cpp" "src/mvx/CMakeFiles/ib12x_mvx.dir/endpoint.cpp.o" "gcc" "src/mvx/CMakeFiles/ib12x_mvx.dir/endpoint.cpp.o.d"
+  "/root/repo/src/mvx/policy.cpp" "src/mvx/CMakeFiles/ib12x_mvx.dir/policy.cpp.o" "gcc" "src/mvx/CMakeFiles/ib12x_mvx.dir/policy.cpp.o.d"
+  "/root/repo/src/mvx/world.cpp" "src/mvx/CMakeFiles/ib12x_mvx.dir/world.cpp.o" "gcc" "src/mvx/CMakeFiles/ib12x_mvx.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ib/CMakeFiles/ib12x_ib.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ib12x_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ib12x_mvx.dir/coll.cpp.o"
+  "CMakeFiles/ib12x_mvx.dir/coll.cpp.o.d"
+  "CMakeFiles/ib12x_mvx.dir/comm.cpp.o"
+  "CMakeFiles/ib12x_mvx.dir/comm.cpp.o.d"
+  "CMakeFiles/ib12x_mvx.dir/datatype.cpp.o"
+  "CMakeFiles/ib12x_mvx.dir/datatype.cpp.o.d"
+  "CMakeFiles/ib12x_mvx.dir/endpoint.cpp.o"
+  "CMakeFiles/ib12x_mvx.dir/endpoint.cpp.o.d"
+  "CMakeFiles/ib12x_mvx.dir/policy.cpp.o"
+  "CMakeFiles/ib12x_mvx.dir/policy.cpp.o.d"
+  "CMakeFiles/ib12x_mvx.dir/world.cpp.o"
+  "CMakeFiles/ib12x_mvx.dir/world.cpp.o.d"
+  "libib12x_mvx.a"
+  "libib12x_mvx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ib12x_mvx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

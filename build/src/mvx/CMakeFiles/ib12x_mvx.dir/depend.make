@@ -1,0 +1,2 @@
+# Empty dependencies file for ib12x_mvx.
+# This may be replaced when dependencies are built.

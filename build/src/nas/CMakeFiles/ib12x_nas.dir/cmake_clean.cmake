@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ib12x_nas.dir/cg.cpp.o"
+  "CMakeFiles/ib12x_nas.dir/cg.cpp.o.d"
+  "CMakeFiles/ib12x_nas.dir/fft.cpp.o"
+  "CMakeFiles/ib12x_nas.dir/fft.cpp.o.d"
+  "CMakeFiles/ib12x_nas.dir/ft.cpp.o"
+  "CMakeFiles/ib12x_nas.dir/ft.cpp.o.d"
+  "CMakeFiles/ib12x_nas.dir/is.cpp.o"
+  "CMakeFiles/ib12x_nas.dir/is.cpp.o.d"
+  "CMakeFiles/ib12x_nas.dir/params.cpp.o"
+  "CMakeFiles/ib12x_nas.dir/params.cpp.o.d"
+  "libib12x_nas.a"
+  "libib12x_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ib12x_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ib12x_sim.dir/log.cpp.o"
+  "CMakeFiles/ib12x_sim.dir/log.cpp.o.d"
+  "CMakeFiles/ib12x_sim.dir/process.cpp.o"
+  "CMakeFiles/ib12x_sim.dir/process.cpp.o.d"
+  "libib12x_sim.a"
+  "libib12x_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ib12x_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

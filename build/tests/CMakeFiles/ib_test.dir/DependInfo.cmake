@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ib/contention_test.cpp" "tests/CMakeFiles/ib_test.dir/ib/contention_test.cpp.o" "gcc" "tests/CMakeFiles/ib_test.dir/ib/contention_test.cpp.o.d"
+  "/root/repo/tests/ib/cq_test.cpp" "tests/CMakeFiles/ib_test.dir/ib/cq_test.cpp.o" "gcc" "tests/CMakeFiles/ib_test.dir/ib/cq_test.cpp.o.d"
+  "/root/repo/tests/ib/engine_sched_test.cpp" "tests/CMakeFiles/ib_test.dir/ib/engine_sched_test.cpp.o" "gcc" "tests/CMakeFiles/ib_test.dir/ib/engine_sched_test.cpp.o.d"
+  "/root/repo/tests/ib/gx_bus_test.cpp" "tests/CMakeFiles/ib_test.dir/ib/gx_bus_test.cpp.o" "gcc" "tests/CMakeFiles/ib_test.dir/ib/gx_bus_test.cpp.o.d"
+  "/root/repo/tests/ib/mem_test.cpp" "tests/CMakeFiles/ib_test.dir/ib/mem_test.cpp.o" "gcc" "tests/CMakeFiles/ib_test.dir/ib/mem_test.cpp.o.d"
+  "/root/repo/tests/ib/rdma_test.cpp" "tests/CMakeFiles/ib_test.dir/ib/rdma_test.cpp.o" "gcc" "tests/CMakeFiles/ib_test.dir/ib/rdma_test.cpp.o.d"
+  "/root/repo/tests/ib/transfer_test.cpp" "tests/CMakeFiles/ib_test.dir/ib/transfer_test.cpp.o" "gcc" "tests/CMakeFiles/ib_test.dir/ib/transfer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ib12x_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ib/CMakeFiles/ib12x_ib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

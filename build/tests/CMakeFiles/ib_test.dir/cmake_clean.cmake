@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ib_test.dir/ib/contention_test.cpp.o"
+  "CMakeFiles/ib_test.dir/ib/contention_test.cpp.o.d"
+  "CMakeFiles/ib_test.dir/ib/cq_test.cpp.o"
+  "CMakeFiles/ib_test.dir/ib/cq_test.cpp.o.d"
+  "CMakeFiles/ib_test.dir/ib/engine_sched_test.cpp.o"
+  "CMakeFiles/ib_test.dir/ib/engine_sched_test.cpp.o.d"
+  "CMakeFiles/ib_test.dir/ib/gx_bus_test.cpp.o"
+  "CMakeFiles/ib_test.dir/ib/gx_bus_test.cpp.o.d"
+  "CMakeFiles/ib_test.dir/ib/mem_test.cpp.o"
+  "CMakeFiles/ib_test.dir/ib/mem_test.cpp.o.d"
+  "CMakeFiles/ib_test.dir/ib/rdma_test.cpp.o"
+  "CMakeFiles/ib_test.dir/ib/rdma_test.cpp.o.d"
+  "CMakeFiles/ib_test.dir/ib/transfer_test.cpp.o"
+  "CMakeFiles/ib_test.dir/ib/transfer_test.cpp.o.d"
+  "ib_test"
+  "ib_test.pdb"
+  "ib_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

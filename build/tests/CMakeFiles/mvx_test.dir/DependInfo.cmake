@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mvx/coll_algo_test.cpp" "tests/CMakeFiles/mvx_test.dir/mvx/coll_algo_test.cpp.o" "gcc" "tests/CMakeFiles/mvx_test.dir/mvx/coll_algo_test.cpp.o.d"
+  "/root/repo/tests/mvx/coll_test.cpp" "tests/CMakeFiles/mvx_test.dir/mvx/coll_test.cpp.o" "gcc" "tests/CMakeFiles/mvx_test.dir/mvx/coll_test.cpp.o.d"
+  "/root/repo/tests/mvx/ext_test.cpp" "tests/CMakeFiles/mvx_test.dir/mvx/ext_test.cpp.o" "gcc" "tests/CMakeFiles/mvx_test.dir/mvx/ext_test.cpp.o.d"
+  "/root/repo/tests/mvx/fast_path_test.cpp" "tests/CMakeFiles/mvx_test.dir/mvx/fast_path_test.cpp.o" "gcc" "tests/CMakeFiles/mvx_test.dir/mvx/fast_path_test.cpp.o.d"
+  "/root/repo/tests/mvx/multirail_test.cpp" "tests/CMakeFiles/mvx_test.dir/mvx/multirail_test.cpp.o" "gcc" "tests/CMakeFiles/mvx_test.dir/mvx/multirail_test.cpp.o.d"
+  "/root/repo/tests/mvx/perf_shape_test.cpp" "tests/CMakeFiles/mvx_test.dir/mvx/perf_shape_test.cpp.o" "gcc" "tests/CMakeFiles/mvx_test.dir/mvx/perf_shape_test.cpp.o.d"
+  "/root/repo/tests/mvx/policy_test.cpp" "tests/CMakeFiles/mvx_test.dir/mvx/policy_test.cpp.o" "gcc" "tests/CMakeFiles/mvx_test.dir/mvx/policy_test.cpp.o.d"
+  "/root/repo/tests/mvx/pt2pt_test.cpp" "tests/CMakeFiles/mvx_test.dir/mvx/pt2pt_test.cpp.o" "gcc" "tests/CMakeFiles/mvx_test.dir/mvx/pt2pt_test.cpp.o.d"
+  "/root/repo/tests/mvx/random_traffic_test.cpp" "tests/CMakeFiles/mvx_test.dir/mvx/random_traffic_test.cpp.o" "gcc" "tests/CMakeFiles/mvx_test.dir/mvx/random_traffic_test.cpp.o.d"
+  "/root/repo/tests/mvx/shm_comm_test.cpp" "tests/CMakeFiles/mvx_test.dir/mvx/shm_comm_test.cpp.o" "gcc" "tests/CMakeFiles/mvx_test.dir/mvx/shm_comm_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ib12x_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ib/CMakeFiles/ib12x_ib.dir/DependInfo.cmake"
+  "/root/repo/build/src/mvx/CMakeFiles/ib12x_mvx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvx_test.dir/mvx/coll_algo_test.cpp.o"
+  "CMakeFiles/mvx_test.dir/mvx/coll_algo_test.cpp.o.d"
+  "CMakeFiles/mvx_test.dir/mvx/coll_test.cpp.o"
+  "CMakeFiles/mvx_test.dir/mvx/coll_test.cpp.o.d"
+  "CMakeFiles/mvx_test.dir/mvx/ext_test.cpp.o"
+  "CMakeFiles/mvx_test.dir/mvx/ext_test.cpp.o.d"
+  "CMakeFiles/mvx_test.dir/mvx/fast_path_test.cpp.o"
+  "CMakeFiles/mvx_test.dir/mvx/fast_path_test.cpp.o.d"
+  "CMakeFiles/mvx_test.dir/mvx/multirail_test.cpp.o"
+  "CMakeFiles/mvx_test.dir/mvx/multirail_test.cpp.o.d"
+  "CMakeFiles/mvx_test.dir/mvx/perf_shape_test.cpp.o"
+  "CMakeFiles/mvx_test.dir/mvx/perf_shape_test.cpp.o.d"
+  "CMakeFiles/mvx_test.dir/mvx/policy_test.cpp.o"
+  "CMakeFiles/mvx_test.dir/mvx/policy_test.cpp.o.d"
+  "CMakeFiles/mvx_test.dir/mvx/pt2pt_test.cpp.o"
+  "CMakeFiles/mvx_test.dir/mvx/pt2pt_test.cpp.o.d"
+  "CMakeFiles/mvx_test.dir/mvx/random_traffic_test.cpp.o"
+  "CMakeFiles/mvx_test.dir/mvx/random_traffic_test.cpp.o.d"
+  "CMakeFiles/mvx_test.dir/mvx/shm_comm_test.cpp.o"
+  "CMakeFiles/mvx_test.dir/mvx/shm_comm_test.cpp.o.d"
+  "mvx_test"
+  "mvx_test.pdb"
+  "mvx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

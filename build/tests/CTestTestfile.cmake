@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/ib_test[1]_include.cmake")
+include("/root/repo/build/tests/mvx_test[1]_include.cmake")
+include("/root/repo/build/tests/nas_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
