@@ -72,5 +72,9 @@ int main() {
                        nas_gain(nas::NasClass::A, true, {2, 1}), 7, 19);
   harness::print_check("FT-A gain @2 procs % (paper 5-7)",
                        nas_gain(nas::NasClass::A, false, {2, 1}), 3, 11);
+
+  std::printf("\n");
+  harness::telemetry_table(epc4.world(), "EPC 4-rail per-layer telemetry (micro-bench runs)")
+      .print();
   return 0;
 }

@@ -6,6 +6,7 @@
 //
 //   $ ./build/examples/policy_explorer
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,7 @@ int main() {
     std::vector<double> lat, bw, a2a;
   };
   std::vector<Cell> cells(sizes.size());
+  std::optional<harness::Table> epc_telemetry;
   for (const auto& [name, pol] : policies) {
     harness::Runner r(mvx::ClusterSpec{2, 1}, mvx::Config::enhanced(4, pol), bp);
     harness::Runner ra(mvx::ClusterSpec{2, 2}, mvx::Config::enhanced(4, pol), bp);
@@ -42,6 +44,10 @@ int main() {
       cells[i].lat.push_back(r.latency_us(sizes[i]));
       cells[i].bw.push_back(r.uni_bw_mbs(sizes[i]));
       cells[i].a2a.push_back(ra.alltoall_us(sizes[i]));
+    }
+    if (pol == mvx::Policy::EPC) {
+      epc_telemetry = harness::telemetry_table(
+          r.world(), "EPC per-layer telemetry (2-rank sweep, all sizes)");
     }
   }
 
@@ -71,5 +77,10 @@ int main() {
   }
   std::printf("\nEPC should appear as (or tie with) the winner in every column — that is\n"
               "exactly its design goal: fall back to the optimal policy per traffic class.\n");
+
+  if (epc_telemetry.has_value()) {
+    std::printf("\nWhere the EPC sweep's messages actually went, per layer:\n");
+    epc_telemetry->print();
+  }
   return 0;
 }

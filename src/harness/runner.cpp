@@ -123,4 +123,13 @@ std::vector<std::int64_t> pow2_sizes(std::int64_t from, std::int64_t to) {
   return v;
 }
 
+Table telemetry_table(mvx::World& world, std::string title) {
+  Table t(std::move(title), "metric");
+  t.add_column("value");
+  for (const auto& s : world.telemetry().snapshot()) {
+    t.add_row(s.name, {s.value});
+  }
+  return t;
+}
+
 }  // namespace ib12x::harness

@@ -15,8 +15,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "harness/table.hpp"
 #include "mvx/mpi.hpp"
 
 namespace ib12x::harness {
@@ -58,5 +60,9 @@ class Runner {
 
 /// Power-of-two sweep helper: {from, 2·from, …, to}.
 std::vector<std::int64_t> pow2_sizes(std::int64_t from, std::int64_t to);
+
+/// A world's telemetry registry (counters from every layer, gauges from the
+/// HCA model) rendered as a one-column table, one row per metric.
+Table telemetry_table(mvx::World& world, std::string title = "per-layer telemetry");
 
 }  // namespace ib12x::harness

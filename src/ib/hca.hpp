@@ -105,6 +105,11 @@ class Port {
 
   [[nodiscard]] int send_engine_count() const { return static_cast<int>(send_engines_.size()); }
   [[nodiscard]] sim::Time send_engine_busy(int i) const { return send_engines_[i].busy_time(); }
+  [[nodiscard]] sim::Time send_engine_busy_total() const {
+    sim::Time t = 0;
+    for (const auto& e : send_engines_) t += e.busy_time();
+    return t;
+  }
   [[nodiscard]] std::uint64_t wqes_serviced() const { return wqes_serviced_; }
   [[nodiscard]] std::uint64_t bytes_tx() const { return bytes_tx_; }
 
@@ -158,6 +163,29 @@ class Hca {
                        SharedReceiveQueue* srq = nullptr);
 
   SharedReceiveQueue& create_srq();
+
+  /// Telemetry: instantaneous sum of send-queue depths over every QP.
+  [[nodiscard]] std::size_t total_send_queue_depth() const {
+    std::size_t d = 0;
+    for (const auto& qp : qps_) d += qp->send_queue_depth();
+    return d;
+  }
+  /// Telemetry: total WQEs serviced / bytes transmitted across all ports.
+  [[nodiscard]] std::uint64_t total_wqes_serviced() const {
+    std::uint64_t n = 0;
+    for (const auto& p : ports_) n += p->wqes_serviced();
+    return n;
+  }
+  [[nodiscard]] std::uint64_t total_bytes_tx() const {
+    std::uint64_t n = 0;
+    for (const auto& p : ports_) n += p->bytes_tx();
+    return n;
+  }
+  [[nodiscard]] sim::Time total_send_engine_busy() const {
+    sim::Time t = 0;
+    for (const auto& p : ports_) t += p->send_engine_busy_total();
+    return t;
+  }
 
  private:
   friend class Fabric;

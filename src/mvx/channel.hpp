@@ -1,0 +1,85 @@
+// The channel layer of the decomposed ADI endpoint (paper fig. 2).
+//
+// A Channel moves bytes to a set of peers over one transport; the endpoint
+// is a thin facade that routes each send to the highest-priority channel
+// that accepts it (shm → RDMA fast path → net) and glues inbound arrivals
+// back into the matcher and the rendezvous protocol.
+//
+// Channels never see the Endpoint class itself — only the narrow
+// ChannelHost surface below — so each transport is independently testable
+// and replaceable, and new transports slot in without touching the facade's
+// callers (Communicator / Collectives).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "mvx/config.hpp"
+#include "mvx/request.hpp"
+#include "mvx/wire.hpp"
+#include "sim/process.hpp"
+#include "sim/simulator.hpp"
+
+namespace ib12x::mvx {
+
+class Matcher;
+class TelemetryRegistry;
+
+/// What a channel (or protocol module) may ask of its owning endpoint.
+class ChannelHost {
+ public:
+  [[nodiscard]] virtual int rank() const = 0;
+  [[nodiscard]] virtual const Config& config() const = 0;
+  [[nodiscard]] virtual sim::Simulator& simulator() const = 0;
+  [[nodiscard]] virtual sim::Process& process() const = 0;
+  virtual Matcher& matcher() = 0;
+  virtual TelemetryRegistry& telemetry() = 0;
+  /// The progress waitable blocking calls park on; channels notify it when
+  /// resources (credits, ring slots) free up.
+  virtual sim::Waitable& progress() = 0;
+
+  /// Serializes event-context protocol work (stripe posting, CQE handling,
+  /// control processing, receive copies) on this rank's host CPU: `fn` runs
+  /// once the CPU has spent `cost` on it, queued behind earlier work.
+  virtual void schedule_cpu(sim::Time cost, std::function<void()> fn) = 0;
+  [[nodiscard]] virtual sim::Time memcpy_time(std::int64_t bytes) const = 0;
+
+  /// Entry point for every sequenced inbound message (Eager/Rts): ordering,
+  /// matching, and protocol dispatch.  Event context.
+  virtual void ingress(int peer, const MsgHeader& hdr, std::vector<std::byte> payload) = 0;
+  /// Rendezvous control arrival (Cts/Fin) from the net channel.
+  virtual void on_ctl(const MsgHeader& hdr, const CtsRkeys& rkeys) = 0;
+  /// A rendezvous stripe write finished on the wire (requester CQE).
+  virtual void on_rndv_write_done(int peer, std::uint64_t req_id) = 0;
+
+  /// Marks `req` complete and wakes waiters.
+  virtual void complete_request(const Request& req) = 0;
+
+ protected:
+  ~ChannelHost() = default;
+};
+
+/// One transport to a set of peers.
+class Channel {
+ public:
+  explicit Channel(ChannelHost& host) : host_(host) {}
+  virtual ~Channel() = default;
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// True if this channel can carry `bytes` to `peer` right now (routing is
+  /// re-evaluated per message, so e.g. fast-path exhaustion falls through to
+  /// the net channel).
+  [[nodiscard]] virtual bool accepts(int peer, std::int64_t bytes) const = 0;
+
+  /// Starts one message.  Process context; may block on channel resources.
+  virtual void send(int peer, CommKind kind, const void* buf, std::int64_t bytes, int tag,
+                    int ctx, const Request& req) = 0;
+
+ protected:
+  ChannelHost& host_;
+};
+
+}  // namespace ib12x::mvx

@@ -1,136 +1,40 @@
 #include "mvx/endpoint.hpp"
 
-#include <algorithm>
-#include <array>
-#include <cassert>
 #include <cstring>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
-#include "sim/log.hpp"
+#include "mvx/fast_path_channel.hpp"
+#include "mvx/matcher.hpp"
+#include "mvx/net_channel.hpp"
+#include "mvx/rendezvous.hpp"
+#include "mvx/shm_channel.hpp"
+#include "mvx/telemetry.hpp"
 
 namespace ib12x::mvx {
 
 Endpoint::Endpoint(sim::Simulator& sim, int rank, int node, std::vector<ib::Hca*> node_hcas,
-                   const Config& cfg)
-    : sim_(sim), rank_(rank), node_(node), hcas_(std::move(node_hcas)), cfg_(cfg) {
-  if (static_cast<int>(hcas_.size()) > kMaxHcas) {
-    throw std::invalid_argument("Endpoint: too many HCAs per node");
-  }
-  scq_.set_callback([this](const ib::Wc& wc) { on_send_cqe(wc); });
-  rcq_.set_callback([this](const ib::Wc& wc) { on_recv_cqe(wc); });
-
-  const std::size_t slot_bytes = kHeaderBytes + static_cast<std::size_t>(cfg_.rndv_threshold);
-  bounce_.resize(static_cast<std::size_t>(cfg_.send_bounce_bufs));
-  for (std::size_t i = 0; i < bounce_.size(); ++i) {
-    bounce_[i].data.resize(slot_bytes);
-    for (std::size_t h = 0; h < hcas_.size(); ++h) {
-      bounce_[i].lkey[h] =
-          hcas_[h]->mem().register_memory(bounce_[i].data.data(), slot_bytes).lkey;
-    }
-    free_bounce_.push_back(static_cast<int>(i));
-  }
+                   const Config& cfg, TelemetryRegistry& tel)
+    : sim_(sim), rank_(rank), node_(node), cfg_(cfg), tel_(tel) {
+  matcher_ = std::make_unique<Matcher>(tel_);
+  net_ = std::make_unique<NetChannel>(*this, std::move(node_hcas));
+  shm_ = std::make_unique<ShmChannel>(*this);
+  fast_path_ = std::make_unique<FastPathChannel>(*this, *net_);
+  rndv_ = std::make_unique<Rendezvous>(*this, *net_);
 }
 
 Endpoint::~Endpoint() = default;
 
 void Endpoint::connect_net(Endpoint& a, Endpoint& b) {
   if (a.node_ == b.node_) throw std::logic_error("connect_net: same node — use connect_shm");
-  const Config& cfg = a.cfg_;
-  PeerConn& ca = a.conns_[b.rank_];
-  PeerConn& cb = b.conns_[a.rank_];
-  ca.peer = b.rank_;
-  cb.peer = a.rank_;
-
-  // SRQ mode: one shared receive queue per local HCA, created on first use.
-  auto ensure_srqs = [](Endpoint& ep) {
-    if (!ep.cfg_.use_srq || !ep.srqs_.empty()) return;
-    for (ib::Hca* hca : ep.hcas_) ep.srqs_.push_back(&hca->create_srq());
-  };
-  ensure_srqs(a);
-  ensure_srqs(b);
-
-  const std::size_t slot_bytes = kHeaderBytes + static_cast<std::size_t>(cfg.rndv_threshold);
-  auto prepost = [&](Endpoint& ep, ib::QueuePair* qp, int hca_index, int peer) {
-    for (int i = 0; i < cfg.eager_credits; ++i) {
-      auto slot = std::make_unique<RecvSlot>();
-      slot->buf.resize(slot_bytes);
-      slot->peer = peer;
-      // Receive buffers only need registration in the domain of the HCA the
-      // QP lives on.
-      slot->lkey = qp->port().hca().mem().register_memory(slot->buf.data(), slot_bytes).lkey;
-      const ib::RecvWr wr{.wr_id = reinterpret_cast<std::uint64_t>(slot.get()),
-                          .dst = slot->buf.data(),
-                          .length = static_cast<std::uint32_t>(slot_bytes),
-                          .lkey = slot->lkey};
-      if (cfg.use_srq) {
-        slot->srq = ep.srqs_.at(static_cast<std::size_t>(hca_index));
-        slot->srq->post(wr);
-      } else {
-        slot->qp = qp;
-        qp->post_recv(wr);
-      }
-      ep.recv_slots_.push_back(std::move(slot));
-    }
-  };
-
-  auto setup_fast_path = [&cfg](Endpoint& me, PeerConn& mine, Endpoint& other) {
-    if (!cfg.use_rdma_fast_path) return;
-    mine.peer_ep = &other;
-    mine.fp_slot_bytes = kHeaderBytes + static_cast<std::size_t>(cfg.fast_path_max);
-    mine.fp_recv_ring.resize(mine.fp_slot_bytes * static_cast<std::size_t>(cfg.fast_path_slots));
-    mine.fp_send_stage.resize(mine.fp_slot_bytes * static_cast<std::size_t>(cfg.fast_path_slots));
-    // The ring is written over rail 0, so registration in HCA 0's domain
-    // suffices; the addr/rkey exchange happens out of band at setup (real
-    // MVAPICH piggybacks it on connection establishment).
-    ib::MemoryRegion rmr = me.hcas_[0]->mem().register_memory(mine.fp_recv_ring.data(),
-                                                              mine.fp_recv_ring.size());
-    mine.fp_stage_lkey =
-        me.hcas_[0]->mem().register_memory(mine.fp_send_stage.data(), mine.fp_send_stage.size())
-            .lkey;
-    mine.fp_credits = cfg.fast_path_slots;
-    // Tell the other side where to write.
-    PeerConn& theirs = other.conns_[me.rank_];
-    theirs.fp_raddr = rmr.addr;
-    theirs.fp_rkey = rmr.rkey;
-  };
-  setup_fast_path(a, ca, b);
-  setup_fast_path(b, cb, a);
-
-  for (int h = 0; h < cfg.hcas_per_node; ++h) {
-    for (int p = 0; p < cfg.ports_per_hca; ++p) {
-      for (int q = 0; q < cfg.qps_per_port; ++q) {
-        ib::SharedReceiveQueue* srq_a =
-            cfg.use_srq ? a.srqs_.at(static_cast<std::size_t>(h)) : nullptr;
-        ib::SharedReceiveQueue* srq_b =
-            cfg.use_srq ? b.srqs_.at(static_cast<std::size_t>(h)) : nullptr;
-        ib::QueuePair& qa =
-            a.hcas_.at(static_cast<std::size_t>(h))->create_qp(p, a.scq_, a.rcq_, srq_a);
-        ib::QueuePair& qb =
-            b.hcas_.at(static_cast<std::size_t>(h))->create_qp(p, b.scq_, b.rcq_, srq_b);
-        ib::Fabric::connect(qa, qb);
-        ca.rails.push_back(Rail{&qa, h, cfg.eager_credits, 0});
-        cb.rails.push_back(Rail{&qb, h, cfg.eager_credits, 0});
-        prepost(a, &qa, h, b.rank_);
-        prepost(b, &qb, h, a.rank_);
-      }
-    }
-  }
+  NetChannel::connect(*a.net_, *b.net_);
+  FastPathChannel::connect(*a.fast_path_, *b.fast_path_);
 }
 
 void Endpoint::connect_shm(Endpoint& a, Endpoint& b) {
   if (a.node_ != b.node_) throw std::logic_error("connect_shm: different nodes");
-  PeerConn& ca = a.conns_[b.rank_];
-  PeerConn& cb = b.conns_[a.rank_];
-  ca.peer = b.rank_;
-  ca.shm = true;
-  ca.peer_ep = &b;
-  ca.shm_pipe = sim::BandwidthServer("shm", a.cfg_.shm_gbps);
-  cb.peer = a.rank_;
-  cb.shm = true;
-  cb.peer_ep = &a;
-  cb.shm_pipe = sim::BandwidthServer("shm", b.cfg_.shm_gbps);
+  ShmChannel::connect(*a.shm_, *b.shm_);
 }
 
 void Endpoint::schedule_cpu(sim::Time cost, std::function<void()> fn) {
@@ -138,69 +42,8 @@ void Endpoint::schedule_cpu(sim::Time cost, std::function<void()> fn) {
   sim_.at(r.finish, std::move(fn));
 }
 
-Endpoint::PeerConn& Endpoint::conn(int peer) {
-  auto it = conns_.find(peer);
-  if (it == conns_.end()) {
-    throw std::logic_error("Endpoint " + std::to_string(rank_) + ": no connection to rank " +
-                           std::to_string(peer));
-  }
-  return it->second;
-}
-
-int Endpoint::least_loaded_rail(const PeerConn& c) const {
-  int best = 0;
-  for (int i = 1; i < static_cast<int>(c.rails.size()); ++i) {
-    if (c.rails[static_cast<std::size_t>(i)].outstanding <
-        c.rails[static_cast<std::size_t>(best)].outstanding) {
-      best = i;
-    }
-  }
-  return best;
-}
-
-bool Endpoint::iprobe(int src, int tag, int ctx, Status* st) {
-  for (const Unexpected& u : unexpected_) {
-    if (u.hdr.ctx != ctx) continue;
-    if (src != -1 && u.hdr.src_rank != src) continue;
-    if (tag != -1 && u.hdr.tag != tag) continue;
-    if (st != nullptr) {
-      *st = {u.hdr.src_rank, u.hdr.tag, static_cast<std::int64_t>(u.hdr.size)};
-    }
-    return true;
-  }
-  return false;
-}
-
-void Endpoint::probe(int src, int tag, int ctx, Status* st) {
-  proc_->wait_until(progress_, [&] { return iprobe(src, tag, ctx, st); });
-}
-
 sim::Time Endpoint::memcpy_time(std::int64_t bytes) const {
   return sim::transfer_time(bytes, cfg_.memcpy_gbps);
-}
-
-std::uint64_t Endpoint::new_cookie(const Request& req) {
-  std::uint64_t id = next_cookie_++;
-  outstanding_[id] = req;
-  return id;
-}
-
-Request Endpoint::take_cookie(std::uint64_t id) {
-  auto it = outstanding_.find(id);
-  if (it == outstanding_.end()) {
-    throw std::logic_error("Endpoint: unknown request cookie " + std::to_string(id));
-  }
-  Request r = it->second;
-  outstanding_.erase(it);
-  return r;
-}
-
-Request Endpoint::peek_cookie(std::uint64_t id) {
-  auto it = outstanding_.find(id);
-  if (it == outstanding_.end()) {
-    throw std::logic_error("Endpoint: unknown request cookie " + std::to_string(id));
-  }
-  return it->second;
 }
 
 // --------------------------------------------------------------- public API
@@ -218,15 +61,22 @@ Request Endpoint::start_send(CommKind kind, const void* buf, std::int64_t bytes,
   req->ctx = ctx;
   req->kind = static_cast<std::uint8_t>(kind);
 
-  PeerConn& c = conn(dst);
-  if (c.shm) {
-    send_shm(c, kind, buf, bytes, tag, ctx, req);
-  } else if (cfg_.use_rdma_fast_path && bytes <= cfg_.fast_path_max && c.fp_credits > 0) {
-    send_fast_path(c, kind, buf, bytes, tag, ctx, req);
-  } else if (bytes < cfg_.rndv_threshold) {
-    send_eager_msg(c, kind, buf, bytes, tag, ctx, req);
+  // Route to the highest-priority channel that accepts the message; the net
+  // channel splits at the rendezvous threshold between the eager protocol
+  // and the RTS/CTS/FIN state machine.
+  if (shm_->accepts(dst, bytes)) {
+    shm_->send(dst, kind, buf, bytes, tag, ctx, req);
+  } else if (fast_path_->accepts(dst, bytes)) {
+    fast_path_->send(dst, kind, buf, bytes, tag, ctx, req);
+  } else if (net_->accepts(dst, bytes)) {
+    if (bytes < cfg_.rndv_threshold) {
+      net_->send(dst, kind, buf, bytes, tag, ctx, req);
+    } else {
+      rndv_->send_rts(dst, kind, buf, bytes, tag, ctx, req);
+    }
   } else {
-    send_rts(c, kind, buf, bytes, tag, ctx, req);
+    throw std::logic_error("Endpoint " + std::to_string(rank_) + ": no connection to rank " +
+                           std::to_string(dst));
   }
   return req;
 }
@@ -241,20 +91,14 @@ Request Endpoint::start_recv(void* buf, std::int64_t capacity, int src, int tag,
   req->ctx = ctx;
 
   // Unexpected-queue scan first (arrival order).
-  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
-    const MsgHeader& h = it->hdr;
-    if (h.ctx != ctx) continue;
-    if (src != -1 && h.src_rank != src) continue;
-    if (tag != -1 && h.tag != tag) continue;
-    MsgHeader hdr = h;
-    std::vector<std::byte> payload = std::move(it->payload);
-    unexpected_.erase(it);
+  if (auto msg = matcher_->claim_unexpected(src, tag, ctx)) {
+    const MsgHeader& hdr = msg->hdr;
     if (hdr.type == MsgType::Eager) {
       if (static_cast<std::int64_t>(hdr.size) > capacity) {
         throw std::runtime_error("start_recv: message truncation (unexpected eager)");
       }
       proc_->compute(cfg_.match_cpu + memcpy_time(static_cast<std::int64_t>(hdr.size)));
-      if (hdr.size > 0) std::memcpy(buf, payload.data(), hdr.size);
+      if (hdr.size > 0) std::memcpy(buf, msg->payload.data(), hdr.size);
       req->status = {hdr.src_rank, hdr.tag, static_cast<std::int64_t>(hdr.size)};
       req->done = true;
       req->completed_at = sim_.now();
@@ -263,12 +107,12 @@ Request Endpoint::start_recv(void* buf, std::int64_t capacity, int src, int tag,
         throw std::runtime_error("start_recv: message truncation (unexpected rendezvous)");
       }
       proc_->compute(cfg_.match_cpu);
-      accept_rndv(hdr, req);
+      rndv_->accept(hdr, req);
     }
     return req;
   }
 
-  posted_.push_back(PostedRecv{req, src, tag, ctx});
+  matcher_->post(req, src, tag, ctx);
   return req;
 }
 
@@ -276,266 +120,51 @@ void Endpoint::wait(const Request& r) {
   proc_->wait_until(progress_, [&] { return r->done; });
 }
 
-// ------------------------------------------------------------- eager sends
-
-int Endpoint::acquire_bounce_and_credit(PeerConn& c, int rail) {
-  Rail& r = c.rails.at(static_cast<std::size_t>(rail));
-  if (r.credits <= 0 || free_bounce_.empty()) ++stats_.credit_stalls;
-  proc_->wait_until(progress_, [&] { return r.credits > 0 && !free_bounce_.empty(); });
-  // Reserve both resources NOW: between this call and the eventual
-  // post_eager the process charges CPU time, during which an event-context
-  // control send could otherwise steal the last credit and trigger RNR.
-  --r.credits;
-  int b = free_bounce_.back();
-  free_bounce_.pop_back();
-  return b;
+bool Endpoint::iprobe(int src, int tag, int ctx, Status* st) {
+  return matcher_->iprobe(src, tag, ctx, st);
 }
 
-void Endpoint::post_eager(PeerConn& c, int rail, int bounce, const MsgHeader& hdr,
-                          const void* payload, std::int64_t bytes) {
-  Rail& r = c.rails.at(static_cast<std::size_t>(rail));
-  BounceBuf& bb = bounce_[static_cast<std::size_t>(bounce)];
-  write_header(bb.data.data(), hdr);
-  if (bytes > 0) std::memcpy(bb.data.data() + kHeaderBytes, payload, static_cast<std::size_t>(bytes));
-
-  // The caller has already reserved the credit (acquire_bounce_and_credit
-  // or send_ctl); post_eager only performs the copy and the post.
-  auto* ctx = new SendCtx{SendCtx::Kind::Bounce, c.peer, rail, bounce, 0,
-                          static_cast<std::int64_t>(kHeaderBytes) + bytes};
-  r.outstanding += static_cast<std::int64_t>(kHeaderBytes) + bytes;
-  if (r.credits < 0) throw std::logic_error("post_eager: credit underflow");
-  r.qp->post_send({.wr_id = reinterpret_cast<std::uint64_t>(ctx),
-                   .opcode = ib::Opcode::Send,
-                   .src = bb.data.data(),
-                   .length = static_cast<std::uint32_t>(kHeaderBytes + bytes),
-                   .lkey = bb.lkey[r.hca_index]});
+void Endpoint::probe(int src, int tag, int ctx, Status* st) {
+  proc_->wait_until(progress_, [&] { return iprobe(src, tag, ctx, st); });
 }
 
-void Endpoint::send_eager_msg(PeerConn& c, CommKind kind, const void* buf, std::int64_t bytes,
-                              int tag, int ctx, const Request& req) {
-  Schedule s = choose_schedule(cfg_.policy, kind, bytes, static_cast<int>(c.rails.size()),
-                               cfg_.stripe_threshold, c.cursor);
-  int rail = s.stripe ? 0 : s.rail;  // eager never stripes
-  if (cfg_.policy == Policy::Adaptive) rail = least_loaded_rail(c);
+// --------------------------------------------------- inbound glue (events)
 
-  int bounce = acquire_bounce_and_credit(c, rail);
-  proc_->compute(cfg_.post_cpu + memcpy_time(static_cast<std::int64_t>(kHeaderBytes) + bytes));
-
-  MsgHeader hdr;
-  hdr.type = MsgType::Eager;
-  hdr.kind = static_cast<std::uint8_t>(kind);
-  hdr.src_rank = rank_;
-  hdr.tag = tag;
-  hdr.ctx = ctx;
-  hdr.seq = c.send_seq[ctx]++;
-  hdr.size = static_cast<std::uint64_t>(bytes);
-  post_eager(c, rail, bounce, hdr, buf, bytes);
-
-  ++stats_.eager_sent;
-  stats_.bytes_sent += static_cast<std::uint64_t>(bytes);
-
-  // Eager sends are buffered: the user buffer is reusable immediately.
-  req->done = true;
-  req->completed_at = sim_.now();
-}
-
-// ---------------------------------------------------------------- controls
-
-void Endpoint::send_ctl(PeerConn& c, const MsgHeader& hdr, const CtsRkeys& rkeys) {
-  // Pick the first rail (starting at the cursor) with a credit.
-  const int n = static_cast<int>(c.rails.size());
-  int rail = -1;
-  for (int i = 0; i < n; ++i) {
-    int cand = (c.cursor.next + i) % n;
-    if (c.rails[static_cast<std::size_t>(cand)].credits > 0) {
-      rail = cand;
-      break;
+void Endpoint::ingress(int peer, const MsgHeader& hdr, std::vector<std::byte> payload) {
+  for (Matcher::Inbound& m : matcher_->sequence(peer, hdr, std::move(payload))) {
+    Request req = matcher_->match_posted(m.hdr);
+    if (req == nullptr) {
+      matcher_->store_unexpected(std::move(m));
+      progress_.notify_all();  // wake blocking probes
+      continue;
     }
-  }
-  if (rail < 0 || free_bounce_.empty()) {
-    c.pending_ctl.emplace_back(hdr, rkeys);
-    return;
-  }
-  --c.rails.at(static_cast<std::size_t>(rail)).credits;  // reserve
-  int bounce = free_bounce_.back();
-  free_bounce_.pop_back();
-  const std::int64_t payload_bytes = hdr.type == MsgType::Cts ? sizeof(CtsRkeys) : 0;
-  post_eager(c, rail, bounce, hdr, &rkeys, payload_bytes);
-  ++stats_.ctl_sent;
-}
-
-void Endpoint::flush_pending_ctl(PeerConn& c) {
-  while (!c.pending_ctl.empty()) {
-    auto [hdr, rkeys] = c.pending_ctl.front();
-    const std::size_t before = c.pending_ctl.size();
-    c.pending_ctl.pop_front();
-    send_ctl(c, hdr, rkeys);
-    if (c.pending_ctl.size() >= before) return;  // still stuck
-  }
-}
-
-// --------------------------------------------------------------- rendezvous
-
-const Endpoint::RegEntry& Endpoint::register_cached(const void* buf, std::int64_t bytes,
-                                                    sim::Time* cpu_cost) {
-  auto it = reg_cache_.find(buf);
-  if (it != reg_cache_.end()) {
-    // A cached entry that is too small must be (cheaply) re-registered.
-    if (it->second.mr[0].length >= static_cast<std::uint64_t>(bytes)) {
-      *cpu_cost += cfg_.reg_cache_hit;
-      return it->second;
-    }
-    reg_cache_.erase(it);
-  }
-  RegEntry entry;
-  for (std::size_t h = 0; h < hcas_.size(); ++h) {
-    entry.mr[h] = hcas_[h]->mem().register_memory(const_cast<void*>(buf),
-                                                  static_cast<std::size_t>(bytes));
-  }
-  *cpu_cost += cfg_.reg_cache_miss;
-  return reg_cache_.emplace(buf, entry).first->second;
-}
-
-void Endpoint::send_rts(PeerConn& c, CommKind kind, const void* /*buf*/, std::int64_t bytes,
-                        int tag, int ctx, const Request& req) {
-  // Control messages round-robin over rails; the data schedule is decided at
-  // CTS time by the marker-driven policy.
-  RailCursor ctl_cursor = c.cursor;  // do not disturb the data cursor
-  Schedule s = choose_schedule(Policy::RoundRobin, kind, 0, static_cast<int>(c.rails.size()),
-                               cfg_.stripe_threshold, ctl_cursor);
-  int bounce = acquire_bounce_and_credit(c, s.rail);
-  proc_->compute(cfg_.post_cpu);
-
-  MsgHeader hdr;
-  hdr.type = MsgType::Rts;
-  hdr.kind = static_cast<std::uint8_t>(kind);
-  hdr.src_rank = rank_;
-  hdr.tag = tag;
-  hdr.ctx = ctx;
-  hdr.seq = c.send_seq[ctx]++;
-  hdr.size = static_cast<std::uint64_t>(bytes);
-  hdr.sender_cookie = new_cookie(req);
-  post_eager(c, s.rail, bounce, hdr, nullptr, 0);
-  ++stats_.rndv_sent;
-  stats_.bytes_sent += static_cast<std::uint64_t>(bytes);
-}
-
-void Endpoint::accept_rndv(const MsgHeader& rts, const Request& req) {
-  req->status = {rts.src_rank, rts.tag, static_cast<std::int64_t>(rts.size)};
-  req->peer = rts.src_rank;
-
-  sim::Time cost = 0;
-  CtsRkeys rkeys;
-  if (rts.size > 0) {
-    const RegEntry& reg = register_cached(req->recv_buf, static_cast<std::int64_t>(rts.size), &cost);
-    for (std::size_t h = 0; h < hcas_.size(); ++h) rkeys.rkey[h] = reg.mr[h].rkey;
-  }
-
-  MsgHeader cts;
-  cts.type = MsgType::Cts;
-  cts.src_rank = rank_;
-  cts.ctx = rts.ctx;
-  cts.size = rts.size;
-  cts.sender_cookie = rts.sender_cookie;
-  cts.receiver_cookie = new_cookie(req);
-  cts.raddr = reinterpret_cast<std::uint64_t>(req->recv_buf);
-
-  const int peer = rts.src_rank;
-  schedule_cpu(cost + cfg_.ctl_cpu + cfg_.post_cpu,
-               [this, peer, cts, rkeys] { send_ctl(conn(peer), cts, rkeys); });
-}
-
-void Endpoint::handle_cts(const MsgHeader& hdr, const CtsRkeys& rkeys) {
-  Request req = peek_cookie(hdr.sender_cookie);
-  IB12X_DEBUG(sim_.now(), "rank%d: CTS for cookie %llu size %llu", rank_,
-              (unsigned long long)hdr.sender_cookie, (unsigned long long)hdr.size);
-  req->peer_cookie = hdr.receiver_cookie;
-  start_rndv_writes(conn(req->peer), req, hdr, rkeys);
-}
-
-void Endpoint::start_rndv_writes(PeerConn& c, const Request& req, const MsgHeader& cts,
-                                 const CtsRkeys& rkeys) {
-  const std::int64_t bytes = req->bytes;
-  const int nrails = static_cast<int>(c.rails.size());
-  Schedule s = choose_schedule(cfg_.policy, static_cast<CommKind>(req->kind), bytes, nrails,
-                               cfg_.stripe_threshold, c.cursor);
-
-  struct Stripe {
-    int rail;
-    std::int64_t offset;
-    std::int64_t len;
-  };
-  std::vector<Stripe> stripes;
-  if (s.stripe && bytes > 0) {
-    // Striping over all rails (never cutting below min_stripe); stripe sizes
-    // follow the configured rail weights for WeightedStriping, equal shares
-    // otherwise.
-    const int n = static_cast<int>(std::min<std::int64_t>(
-        nrails, std::max<std::int64_t>(1, bytes / cfg_.min_stripe)));
-    std::vector<double> w(static_cast<std::size_t>(n), 1.0);
-    if (cfg_.policy == Policy::WeightedStriping && !cfg_.rail_weights.empty()) {
-      for (int i = 0; i < n; ++i) {
-        w[static_cast<std::size_t>(i)] =
-            cfg_.rail_weights[static_cast<std::size_t>(i) % cfg_.rail_weights.size()];
+    if (m.hdr.type == MsgType::Eager) {
+      if (static_cast<std::int64_t>(m.hdr.size) > req->bytes) {
+        throw std::runtime_error("recv: message truncation (eager)");
       }
+      complete_recv(req, m.hdr, m.payload.data(),
+                    cfg_.match_cpu + memcpy_time(static_cast<std::int64_t>(m.hdr.size)));
+    } else {  // Rts
+      if (static_cast<std::int64_t>(m.hdr.size) > req->bytes) {
+        throw std::runtime_error("recv: message truncation (rendezvous)");
+      }
+      const MsgHeader rts = m.hdr;
+      schedule_cpu(cfg_.match_cpu, [this, rts, req] { rndv_->accept(rts, req); });
     }
-    double wsum = 0;
-    for (double x : w) wsum += x;
-    std::int64_t off = 0;
-    for (int i = 0; i < n; ++i) {
-      std::int64_t len = i + 1 == n
-                             ? bytes - off
-                             : static_cast<std::int64_t>(static_cast<double>(bytes) *
-                                                         w[static_cast<std::size_t>(i)] / wsum);
-      stripes.push_back({i, off, len});
-      off += len;
-    }
-  } else if (cfg_.policy == Policy::Adaptive) {
-    stripes.push_back({least_loaded_rail(c), 0, bytes});
-  } else {
-    stripes.push_back({s.rail, 0, bytes});
-  }
-
-  sim::Time cost = cfg_.ctl_cpu;
-  std::array<ib::LKey, kMaxHcas> lkeys{};
-  if (bytes > 0) {
-    const RegEntry& reg = register_cached(req->send_buf, bytes, &cost);
-    for (int h = 0; h < kMaxHcas; ++h) lkeys[static_cast<std::size_t>(h)] = reg.mr[h].lkey;
-  }
-
-  req->pending_writes = static_cast<int>(stripes.size());
-  stats_.stripes_posted += stripes.size();
-  const std::uint64_t req_id = cts.sender_cookie;
-
-  // Descriptor posting is serialized on the host CPU (WQE build + doorbell
-  // per stripe), queued behind any other protocol work this rank is doing.
-  // This is one of the per-stripe costs that make striping lose to
-  // round-robin for medium messages (paper §3.2).
-  for (std::size_t i = 0; i < stripes.size(); ++i) {
-    const Stripe st = stripes[i];
-    const sim::Time when = (i == 0 ? cost : 0) + cfg_.post_cpu;
-    schedule_cpu(when, [this, &c, st, req_id, cts, rkeys, lkeys] {
-      Rail& r = c.rails.at(static_cast<std::size_t>(st.rail));
-      auto* sctx = new SendCtx{SendCtx::Kind::RndvWrite, c.peer, st.rail, -1, req_id, st.len};
-      r.outstanding += st.len;
-      Request req = peek_cookie(req_id);
-      ib::SendWr wr;
-      wr.wr_id = reinterpret_cast<std::uint64_t>(sctx);
-      wr.opcode = ib::Opcode::RdmaWrite;
-      wr.src = static_cast<const std::byte*>(req->send_buf) + st.offset;
-      wr.length = static_cast<std::uint32_t>(st.len);
-      wr.lkey = st.len > 0 ? lkeys[static_cast<std::size_t>(r.hca_index)] : 0;
-      wr.remote_addr = cts.raddr + static_cast<std::uint64_t>(st.offset);
-      wr.rkey = rkeys.rkey[r.hca_index];
-      r.qp->post_send(wr);
-    });
   }
 }
 
-void Endpoint::handle_fin(const MsgHeader& hdr) {
-  Request req = take_cookie(hdr.receiver_cookie);
-  IB12X_DEBUG(sim_.now(), "rank%d: FIN for cookie %llu", rank_, (unsigned long long)hdr.receiver_cookie);
-  schedule_cpu(cfg_.ctl_cpu, [this, req] { complete_request(req); });
+void Endpoint::on_ctl(const MsgHeader& hdr, const CtsRkeys& rkeys) {
+  if (hdr.type == MsgType::Cts) {
+    // CTS handling consumes host CPU before the stripes are posted.
+    schedule_cpu(cfg_.ctl_cpu, [this, hdr, rkeys] { rndv_->on_cts(hdr, rkeys); });
+  } else {  // Fin
+    rndv_->on_fin(hdr);
+  }
+}
+
+void Endpoint::on_rndv_write_done(int peer, std::uint64_t req_id) {
+  rndv_->on_write_done(peer, req_id);
 }
 
 void Endpoint::complete_request(const Request& req) {
@@ -544,271 +173,12 @@ void Endpoint::complete_request(const Request& req) {
   progress_.notify_all();
 }
 
-// ------------------------------------------------------------ inbound path
-
-void Endpoint::on_send_cqe(const ib::Wc& wc) {
-  auto* sctx = reinterpret_cast<SendCtx*>(wc.wr_id);
-  // Polling and processing a completion costs host CPU, serialized with all
-  // other protocol work of this rank — per-stripe CQEs are a real per-stripe
-  // tax ("receipt of multiple acknowledgments", paper §4.3).
-  schedule_cpu(cfg_.cqe_sw, [this, sctx] {
-    PeerConn& c = conn(sctx->peer);
-    c.rails.at(static_cast<std::size_t>(sctx->rail)).outstanding -= sctx->bytes;
-    switch (sctx->kind) {
-      case SendCtx::Kind::Bounce: {
-        ++c.rails.at(static_cast<std::size_t>(sctx->rail)).credits;
-        free_bounce_.push_back(sctx->bounce);
-        flush_pending_ctl(c);
-        progress_.notify_all();
-        break;
-      }
-      case SendCtx::Kind::FpWrite:
-        break;  // staging slot reuse is gated by the fast-path credit
-      case SendCtx::Kind::RndvWrite: {
-        Request req = peek_cookie(sctx->req_id);
-        IB12X_DEBUG(sim_.now(), "rank%d: write CQE cookie %llu remaining %d", rank_,
-                    (unsigned long long)sctx->req_id, req->pending_writes - 1);
-        if (--req->pending_writes == 0) {
-          // All stripes placed remotely (CQE implies remote visibility):
-          // tell the receiver and complete the local send.
-          MsgHeader fin;
-          fin.type = MsgType::Fin;
-          fin.src_rank = rank_;
-          fin.receiver_cookie = req->peer_cookie;
-          send_ctl(c, fin, CtsRkeys{});
-          take_cookie(sctx->req_id);
-          complete_request(req);
-        }
-        break;
-      }
-    }
-    delete sctx;
-  });
-}
-
-void Endpoint::on_recv_cqe(const ib::Wc& wc) {
-  auto* slot = reinterpret_cast<RecvSlot*>(wc.wr_id);
-  MsgHeader hdr = read_header(slot->buf.data());
-  const std::byte* payload = slot->buf.data() + kHeaderBytes;
-
-  switch (hdr.type) {
-    case MsgType::Eager:
-    case MsgType::Rts: {
-      sequence_incoming(conn(hdr.src_rank), hdr, payload);
-      break;
-    }
-    case MsgType::Cts: {
-      CtsRkeys rkeys;
-      std::memcpy(&rkeys, payload, sizeof(rkeys));
-      // CTS handling consumes host CPU before the stripes are posted.
-      schedule_cpu(cfg_.ctl_cpu, [this, hdr, rkeys] { handle_cts(hdr, rkeys); });
-      break;
-    }
-    case MsgType::Fin: {
-      handle_fin(hdr);
-      break;
-    }
-  }
-
-  // Recycle the receive slot immediately (MVAPICH reposts vbufs eagerly; the
-  // sender's credit only returns with its CQE, which is always later).
-  const ib::RecvWr repost{.wr_id = wc.wr_id,
-                          .dst = slot->buf.data(),
-                          .length = static_cast<std::uint32_t>(slot->buf.size()),
-                          .lkey = slot->lkey};
-  if (slot->srq != nullptr) {
-    slot->srq->post(repost);
-  } else {
-    slot->qp->post_recv(repost);
-  }
-}
-
-void Endpoint::sequence_incoming(PeerConn& c, const MsgHeader& hdr, const std::byte* payload) {
-  std::vector<std::byte> copy;
-  if (hdr.type == MsgType::Eager && hdr.size > 0) {
-    copy.assign(payload, payload + hdr.size);
-  }
-  std::uint32_t& next = c.next_seq[hdr.ctx];
-  if (hdr.seq != next) {
-    // Arrived ahead of order (multi-rail round robin / striping race): park
-    // until the gap closes.
-    c.reorder.emplace(std::make_pair(hdr.ctx, hdr.seq), Unexpected{hdr, std::move(copy)});
-    return;
-  }
-  ++next;
-  deliver_ordered(c, hdr, std::move(copy));
-  // Drain any now-contiguous parked messages.
-  for (auto it = c.reorder.find({hdr.ctx, next}); it != c.reorder.end();
-       it = c.reorder.find({hdr.ctx, next})) {
-    Unexpected u = std::move(it->second);
-    c.reorder.erase(it);
-    ++next;
-    deliver_ordered(c, u.hdr, std::move(u.payload));
-  }
-}
-
-void Endpoint::deliver_ordered(PeerConn& c, const MsgHeader& hdr, std::vector<std::byte> payload) {
-  (void)c;
-  if (try_match_inbound(hdr, payload.data())) return;
-  ++stats_.unexpected;
-  unexpected_.push_back(Unexpected{hdr, std::move(payload)});
-  progress_.notify_all();  // wake blocking probes
-}
-
-bool Endpoint::try_match_inbound(const MsgHeader& hdr, const std::byte* payload) {
-  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
-    if (it->ctx != hdr.ctx) continue;
-    if (it->src != -1 && it->src != hdr.src_rank) continue;
-    if (it->tag != -1 && it->tag != hdr.tag) continue;
-    Request req = it->req;
-    posted_.erase(it);
-    if (hdr.type == MsgType::Eager) {
-      if (static_cast<std::int64_t>(hdr.size) > req->bytes) {
-        throw std::runtime_error("recv: message truncation (eager)");
-      }
-      complete_recv(req, hdr, payload,
-                    cfg_.match_cpu + memcpy_time(static_cast<std::int64_t>(hdr.size)));
-    } else {  // Rts
-      if (static_cast<std::int64_t>(hdr.size) > req->bytes) {
-        throw std::runtime_error("recv: message truncation (rendezvous)");
-      }
-      schedule_cpu(cfg_.match_cpu, [this, hdr, req] { accept_rndv(hdr, req); });
-    }
-    return true;
-  }
-  return false;
-}
-
 void Endpoint::complete_recv(const Request& req, const MsgHeader& hdr, const std::byte* payload,
                              sim::Time extra_delay) {
   if (hdr.size > 0) std::memcpy(req->recv_buf, payload, hdr.size);
   req->status = {hdr.src_rank, hdr.tag, static_cast<std::int64_t>(hdr.size)};
   // The copy out of the bounce buffer runs on this rank's CPU.
   schedule_cpu(extra_delay, [this, req] { complete_request(req); });
-}
-
-// ---------------------------------------------------------- RDMA fast path
-
-void Endpoint::send_fast_path(PeerConn& c, CommKind kind, const void* buf, std::int64_t bytes,
-                              int tag, int ctx, const Request& req) {
-  const int slot = c.fp_head;
-  c.fp_head = (c.fp_head + 1) % cfg_.fast_path_slots;
-  --c.fp_credits;
-
-  MsgHeader hdr;
-  hdr.type = MsgType::Eager;
-  hdr.kind = static_cast<std::uint8_t>(kind);
-  hdr.src_rank = rank_;
-  hdr.tag = tag;
-  hdr.ctx = ctx;
-  hdr.seq = c.send_seq[ctx]++;
-  hdr.size = static_cast<std::uint64_t>(bytes);
-
-  std::byte* stage = c.fp_send_stage.data() + static_cast<std::size_t>(slot) * c.fp_slot_bytes;
-  write_header(stage, hdr);
-  if (bytes > 0) std::memcpy(stage + kHeaderBytes, buf, static_cast<std::size_t>(bytes));
-  proc_->compute(cfg_.post_cpu + memcpy_time(static_cast<std::int64_t>(kHeaderBytes) + bytes));
-
-  Rail& r = c.rails.front();  // the fast path rides rail 0
-  auto* sctx = new SendCtx{SendCtx::Kind::FpWrite, c.peer, 0, -1, 0,
-                           static_cast<std::int64_t>(kHeaderBytes) + bytes};
-  r.outstanding += static_cast<std::int64_t>(kHeaderBytes) + bytes;
-
-  Endpoint* peer_ep = c.peer_ep;
-  const int me = rank_;
-  ib::SendWr wr;
-  wr.wr_id = reinterpret_cast<std::uint64_t>(sctx);
-  wr.opcode = ib::Opcode::RdmaWrite;
-  wr.src = stage;
-  wr.length = static_cast<std::uint32_t>(kHeaderBytes + bytes);
-  wr.lkey = c.fp_stage_lkey;
-  wr.remote_addr = c.fp_raddr + static_cast<std::uint64_t>(slot) * c.fp_slot_bytes;
-  wr.rkey = c.fp_rkey;
-  // The receiver's poll loop notices the tail flag one poll period after the
-  // data lands.
-  sim::Simulator& sim = sim_;
-  const sim::Time poll = cfg_.poll_delay;
-  wr.delivered_cb = [peer_ep, me, slot, &sim, poll] {
-    sim.after(poll, [peer_ep, me, slot] { peer_ep->fast_path_arrival(me, slot); });
-  };
-  r.qp->post_send(wr);
-
-  ++stats_.fast_path_sent;
-  stats_.bytes_sent += static_cast<std::uint64_t>(bytes);
-  req->done = true;  // buffered: the payload is staged
-  req->completed_at = sim_.now();
-}
-
-void Endpoint::fast_path_arrival(int src, int slot) {
-  PeerConn& c = conn(src);
-  const std::byte* base = c.fp_recv_ring.data() + static_cast<std::size_t>(slot) * c.fp_slot_bytes;
-  MsgHeader hdr = read_header(base);
-  sequence_incoming(c, hdr, base + kHeaderBytes);
-  // sequence_incoming copied the payload; the slot is free.  Credit return
-  // is piggybacked on reverse traffic in MVAPICH — modelled as free after
-  // the drain's CPU cost.
-  Endpoint* peer_ep = c.peer_ep;
-  const int me = rank_;
-  schedule_cpu(cfg_.ctl_cpu, [peer_ep, me] { peer_ep->fast_path_credit(me); });
-}
-
-void Endpoint::fast_path_credit(int peer) {
-  ++conn(peer).fp_credits;
-  progress_.notify_all();
-}
-
-// ------------------------------------------------------------- shm channel
-
-void Endpoint::send_shm(PeerConn& c, CommKind kind, const void* buf, std::int64_t bytes,
-                        int tag, int ctx, const Request& req) {
-  MsgHeader hdr;
-  hdr.type = MsgType::Eager;
-  hdr.kind = static_cast<std::uint8_t>(kind);
-  hdr.src_rank = rank_;
-  hdr.tag = tag;
-  hdr.ctx = ctx;
-  hdr.seq = c.send_seq[ctx]++;
-  hdr.size = static_cast<std::uint64_t>(bytes);
-
-  // Copy into the (modelled) shared segment; the sender's CPU does this.
-  std::vector<std::byte> payload;
-  if (bytes > 0) {
-    payload.assign(static_cast<const std::byte*>(buf),
-                   static_cast<const std::byte*>(buf) + bytes);
-  }
-  proc_->compute(cfg_.post_cpu + memcpy_time(bytes));
-
-  auto res = c.shm_pipe.reserve_bytes(sim_.now(), sim_.now(),
-                                      static_cast<std::int64_t>(kHeaderBytes) + bytes);
-  const sim::Time deliver_at = res.finish + cfg_.shm_latency;
-  Endpoint* peer = c.peer_ep;
-  const int me = rank_;
-  sim_.at(deliver_at, [peer, me, hdr, payload = std::move(payload)]() mutable {
-    peer->receive_shm(me, hdr, std::move(payload));
-  });
-
-  ++stats_.shm_sent;
-  stats_.bytes_sent += static_cast<std::uint64_t>(bytes);
-  req->done = true;
-  req->completed_at = sim_.now();
-}
-
-void Endpoint::receive_shm(int src, MsgHeader hdr, std::vector<std::byte> payload) {
-  PeerConn& c = conn(src);
-  std::uint32_t& next = c.next_seq[hdr.ctx];
-  if (hdr.seq != next) {
-    c.reorder.emplace(std::make_pair(hdr.ctx, hdr.seq), Unexpected{hdr, std::move(payload)});
-    return;
-  }
-  ++next;
-  deliver_ordered(c, hdr, std::move(payload));
-  for (auto it = c.reorder.find({hdr.ctx, next}); it != c.reorder.end();
-       it = c.reorder.find({hdr.ctx, next})) {
-    Unexpected u = std::move(it->second);
-    c.reorder.erase(it);
-    ++next;
-    deliver_ordered(c, u.hdr, std::move(u.payload));
-  }
 }
 
 }  // namespace ib12x::mvx

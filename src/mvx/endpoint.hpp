@@ -1,33 +1,33 @@
 // The ADI-layer endpoint: one per MPI rank.
 //
-// Responsibilities (paper fig. 2):
-//   * communication marker      — records {blocking, non-blocking, collective}
-//     per transfer and feeds the scheduling-policy table (policy.hpp);
-//   * communication scheduler   — rail manager over multiple QPs/port, ports
-//     and HCAs; executes single-rail or striped schedules;
-//   * eager protocol            — bounce-buffer copies over Send/Recv channel
-//     semantics with credit-based flow control (preposted receive WQEs);
-//   * rendezvous protocol       — RTS → CTS(rkey) → striped RDMA writes →
-//     FIN, with a registration cache for user buffers;
-//   * completion filter         — demultiplexes CQEs back to requests;
-//   * tag matching              — posted/unexpected queues with MPI ordering
-//     restored across rails via per-(pair, context) sequence numbers;
-//   * shared-memory channel     — intra-node peers bypass the HCA.
+// Since the channel decomposition this is a thin facade over the layered
+// architecture (paper fig. 2, DESIGN.md "Architecture"):
+//
+//   * channels — ShmChannel (intra-node), FastPathChannel (RDMA polled
+//     ring), NetChannel (rails, credits, eager protocol, completion
+//     filter); each owns its per-peer transport state;
+//   * Matcher — posted/unexpected queues, per-(pair, ctx) sequencing and
+//     reordering, probe semantics;
+//   * Rendezvous — RTS/CTS/FIN state machine, stripe planning, the
+//     registration cache;
+//   * TelemetryRegistry — named counters/gauges every layer registers.
+//
+// The facade routes each send to the highest-priority channel that accepts
+// it, glues in-order arrivals into matching and protocol dispatch, and owns
+// the two cross-cutting resources: the serialized host-CPU server for
+// event-context protocol work, and the progress waitable blocking calls
+// park on.
 //
 // Threading model: the owning rank's code runs in process context (and is
 // charged CPU via Process::compute); network completions arrive in event
 // context and communicate with the process through the progress Waitable.
 #pragma once
 
-#include <cstddef>
 #include <cstdint>
-#include <deque>
-#include <list>
-#include <map>
 #include <memory>
 #include <vector>
 
-#include "ib/verbs.hpp"
+#include "mvx/channel.hpp"
 #include "mvx/config.hpp"
 #include "mvx/policy.hpp"
 #include "mvx/request.hpp"
@@ -36,29 +36,30 @@
 #include "sim/server.hpp"
 #include "sim/simulator.hpp"
 
+namespace ib12x::ib {
+class Hca;
+}
+
 namespace ib12x::mvx {
 
-/// Hard cap on HCAs per node the wire format supports (CTS carries one rkey
-/// per HCA domain).
-inline constexpr int kMaxHcas = 4;
+class FastPathChannel;
+class Matcher;
+class NetChannel;
+class Rendezvous;
+class ShmChannel;
+class TelemetryRegistry;
 
-/// CTS payload appended after MsgHeader: rkeys for every HCA domain of the
-/// receiving node.
-struct CtsRkeys {
-  std::uint32_t rkey[kMaxHcas] = {0, 0, 0, 0};
-};
-
-class Endpoint {
+class Endpoint final : public ChannelHost {
  public:
   Endpoint(sim::Simulator& sim, int rank, int node, std::vector<ib::Hca*> node_hcas,
-           const Config& cfg);
+           const Config& cfg, TelemetryRegistry& tel);
   ~Endpoint();
 
   Endpoint(const Endpoint&) = delete;
   Endpoint& operator=(const Endpoint&) = delete;
 
   /// Builds the rail set (hcas × ports × qps QP pairs) between two endpoints
-  /// on different nodes.
+  /// on different nodes, plus the RDMA fast-path rings if enabled.
   static void connect_net(Endpoint& a, Endpoint& b);
 
   /// Connects two endpoints on the same node through the shm channel.
@@ -81,210 +82,45 @@ class Endpoint {
   /// Blocking probe: waits until iprobe succeeds.
   void probe(int src, int tag, int ctx, Status* st);
 
-  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int rank() const override { return rank_; }
   [[nodiscard]] int node() const { return node_; }
-  [[nodiscard]] sim::Process& process() const { return *proc_; }
-  [[nodiscard]] sim::Simulator& simulator() const { return sim_; }
-  [[nodiscard]] const Config& config() const { return cfg_; }
+  [[nodiscard]] sim::Process& process() const override { return *proc_; }
+  [[nodiscard]] sim::Simulator& simulator() const override { return sim_; }
+  [[nodiscard]] const Config& config() const override { return cfg_; }
 
-  struct Stats {
-    std::uint64_t eager_sent = 0;
-    std::uint64_t rndv_sent = 0;
-    std::uint64_t stripes_posted = 0;
-    std::uint64_t ctl_sent = 0;
-    std::uint64_t bytes_sent = 0;
-    std::uint64_t shm_sent = 0;
-    std::uint64_t fast_path_sent = 0;
-    std::uint64_t unexpected = 0;
-    std::uint64_t credit_stalls = 0;
-  };
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  // ---- ChannelHost surface (channels and protocol modules call these) ----
+
+  Matcher& matcher() override { return *matcher_; }
+  TelemetryRegistry& telemetry() override { return tel_; }
+  sim::Waitable& progress() override { return progress_; }
+  void schedule_cpu(sim::Time cost, std::function<void()> fn) override;
+  [[nodiscard]] sim::Time memcpy_time(std::int64_t bytes) const override;
+  void ingress(int peer, const MsgHeader& hdr, std::vector<std::byte> payload) override;
+  void on_ctl(const MsgHeader& hdr, const CtsRkeys& rkeys) override;
+  void on_rndv_write_done(int peer, std::uint64_t req_id) override;
+  void complete_request(const Request& req) override;
 
  private:
-  // ---- internal structures ----
-
-  /// A preposted receive slot on one QP; recycled after each inbound message.
-  struct RecvSlot {
-    ib::QueuePair* qp = nullptr;              ///< repost target (per-QP RQ mode)
-    ib::SharedReceiveQueue* srq = nullptr;    ///< repost target (SRQ mode)
-    std::vector<std::byte> buf;
-    ib::LKey lkey = 0;
-    int peer = -1;
-  };
-
-  /// One rail to one peer: a connected QP plus sender-side credits and the
-  /// outstanding-byte gauge the Adaptive policy balances on.
-  struct Rail {
-    ib::QueuePair* qp = nullptr;
-    int hca_index = 0;
-    int credits = 0;
-    std::int64_t outstanding = 0;
-  };
-
-  /// An eager bounce buffer registered in every local HCA domain.
-  struct BounceBuf {
-    std::vector<std::byte> data;
-    ib::LKey lkey[kMaxHcas] = {0, 0, 0, 0};
-  };
-
-  /// A message (Eager payload or RTS) that passed sequencing but found no
-  /// matching posted receive yet.
-  struct Unexpected {
-    MsgHeader hdr;
-    std::vector<std::byte> payload;
-  };
-
-  /// Per-peer connection state.
-  struct PeerConn {
-    int peer = -1;
-    bool shm = false;
-    Endpoint* peer_ep = nullptr;  // shm channel / RDMA-fast-path back-pointer
-    std::vector<Rail> rails;
-    // ---- RDMA fast path (small eager messages over a polled ring) ----
-    std::vector<std::byte> fp_recv_ring;   ///< my inbound ring (peer writes here)
-    std::vector<std::byte> fp_send_stage;  ///< local staging for in-flight writes
-    ib::LKey fp_stage_lkey = 0;
-    std::uint64_t fp_raddr = 0;            ///< peer ring base address
-    ib::RKey fp_rkey = 0;
-    std::size_t fp_slot_bytes = 0;
-    int fp_head = 0;                       ///< next slot to write
-    int fp_credits = 0;                    ///< free peer-ring slots
-    RailCursor cursor;
-    std::map<int, std::uint32_t> send_seq;  // by ctx
-    std::map<int, std::uint32_t> next_seq;  // by ctx, receive side
-    std::map<std::pair<int, std::uint32_t>, Unexpected> reorder;  // (ctx, seq)
-    sim::BandwidthServer shm_pipe;  // this → peer direction
-    /// Control messages waiting for rail credit.
-    std::deque<std::pair<MsgHeader, CtsRkeys>> pending_ctl;
-  };
-
-  struct PostedRecv {
-    Request req;
-    int src;  // -1 = any
-    int tag;  // -1 = any
-    int ctx;
-  };
-
-  /// Sender-side context attached to each send WQE via wr_id.
-  struct SendCtx {
-    enum class Kind : std::uint8_t { Bounce, RndvWrite, FpWrite } kind = Kind::Bounce;
-    int peer = -1;
-    int rail = -1;
-    int bounce = -1;           // Bounce: index into bounce pool
-    std::uint64_t req_id = 0;  // RndvWrite: outstanding request
-    std::int64_t bytes = 0;    // outstanding-byte accounting
-  };
-
-  /// Rail with the fewest outstanding bytes (the Adaptive policy's pick).
-  int least_loaded_rail(const PeerConn& c) const;
-
-  // ---- helpers ----
-
-  PeerConn& conn(int peer);
-  [[nodiscard]] sim::Time memcpy_time(std::int64_t bytes) const;
-
-  /// Blocks the process until rail `r` of `c` has a send credit and a bounce
-  /// buffer is free; returns the bounce index.
-  int acquire_bounce_and_credit(PeerConn& c, int rail);
-
-  /// Sends header(+payload) on one rail, consuming a credit and a bounce
-  /// buffer that the caller acquired.  Process- or event-context agnostic.
-  void post_eager(PeerConn& c, int rail, int bounce, const MsgHeader& hdr,
-                  const void* payload, std::int64_t bytes);
-
-  /// Control-message send from event context: takes credit/bounce if
-  /// available, otherwise queues until a credit returns.
-  void send_ctl(PeerConn& c, const MsgHeader& hdr, const CtsRkeys& rkeys);
-  void flush_pending_ctl(PeerConn& c);
-
-  /// Registration cache lookup for rendezvous buffers; returns per-HCA keys
-  /// and charges hit/miss cost to `*cpu_cost`.
-  struct RegEntry {
-    ib::MemoryRegion mr[kMaxHcas];
-  };
-  const RegEntry& register_cached(const void* buf, std::int64_t bytes, sim::Time* cpu_cost);
-
-  // ---- protocol steps ----
-
-  void send_eager_msg(PeerConn& c, CommKind kind, const void* buf, std::int64_t bytes,
-                      int tag, int ctx, const Request& req);
-  void send_rts(PeerConn& c, CommKind kind, const void* buf, std::int64_t bytes, int tag,
-                int ctx, const Request& req);
-  void handle_cts(const MsgHeader& hdr, const CtsRkeys& rkeys);
-  void start_rndv_writes(PeerConn& c, const Request& req, const MsgHeader& cts,
-                         const CtsRkeys& rkeys);
-  void handle_fin(const MsgHeader& hdr);
-  /// Receiver side of a matched RTS: register, reply CTS.
-  void accept_rndv(const MsgHeader& rts, const Request& req);
-
-  // ---- inbound path (event context) ----
-
-  void on_send_cqe(const ib::Wc& wc);
-  void on_recv_cqe(const ib::Wc& wc);
-  /// Sequencing: admit Eager/Rts messages in per-(pair, ctx) seq order.
-  void sequence_incoming(PeerConn& c, const MsgHeader& hdr, const std::byte* payload);
-  /// An in-order message enters matching.
-  void deliver_ordered(PeerConn& c, const MsgHeader& hdr, std::vector<std::byte> payload);
-  /// Tries to match an inbound message against the posted-receive queue.
-  bool try_match_inbound(const MsgHeader& hdr, const std::byte* payload);
+  /// Matched eager arrival: copy out, then complete after the copy's CPU
+  /// time has been charged.
   void complete_recv(const Request& req, const MsgHeader& hdr, const std::byte* payload,
                      sim::Time extra_delay);
-  void complete_request(const Request& req);
-
-  // ---- shm channel ----
-  void send_shm(PeerConn& c, CommKind kind, const void* buf, std::int64_t bytes, int tag,
-                int ctx, const Request& req);
-  void receive_shm(int src, MsgHeader hdr, std::vector<std::byte> payload);
-
-  // ---- RDMA fast path ----
-  void send_fast_path(PeerConn& c, CommKind kind, const void* buf, std::int64_t bytes, int tag,
-                      int ctx, const Request& req);
-  /// Receiver side: the poll loop noticed a completed write in ring slot
-  /// `slot` from `src` (invoked via the write's delivered_cb).
-  void fast_path_arrival(int src, int slot);
-  /// Sender side: the receiver drained slot — credit comes back (modelled as
-  /// a piggybacked credit, no wire cost).
-  void fast_path_credit(int peer);
-
-  std::uint64_t new_cookie(const Request& req);
-  Request take_cookie(std::uint64_t id);
-  Request peek_cookie(std::uint64_t id);
-
-  /// Serializes event-context protocol work (stripe posting, CQE handling,
-  /// control processing, receive copies) on this rank's host CPU: `fn` runs
-  /// once the CPU has spent `cost` on it, queued behind earlier work.  This
-  /// is what makes per-stripe software overheads bind at high message rates
-  /// — the effect the paper attributes striping's medium-message losses to.
-  void schedule_cpu(sim::Time cost, std::function<void()> fn);
 
   sim::Simulator& sim_;
   int rank_;
   int node_;
-  std::vector<ib::Hca*> hcas_;
   Config cfg_;
+  TelemetryRegistry& tel_;
   sim::Process* proc_ = nullptr;
 
-  ib::CompletionQueue scq_;
-  ib::CompletionQueue rcq_;
-
-  std::map<int, PeerConn> conns_;
-  std::vector<std::unique_ptr<RecvSlot>> recv_slots_;
-
-  std::vector<BounceBuf> bounce_;
-  std::vector<int> free_bounce_;
-
-  std::vector<PostedRecv> posted_;
-  std::list<Unexpected> unexpected_;
-
-  std::map<std::uint64_t, Request> outstanding_;
-  std::uint64_t next_cookie_ = 1;
-
-  std::map<const void*, RegEntry> reg_cache_;
-  std::vector<ib::SharedReceiveQueue*> srqs_;  ///< per local HCA, SRQ mode only
+  std::unique_ptr<Matcher> matcher_;
+  std::unique_ptr<NetChannel> net_;
+  std::unique_ptr<ShmChannel> shm_;
+  std::unique_ptr<FastPathChannel> fast_path_;
+  std::unique_ptr<Rendezvous> rndv_;
 
   sim::Server cpu_;  ///< serialized host-CPU time for event-context protocol work
   sim::Waitable progress_;
-  Stats stats_;
 };
 
 }  // namespace ib12x::mvx

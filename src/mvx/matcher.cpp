@@ -1,0 +1,91 @@
+#include "mvx/matcher.hpp"
+
+#include <utility>
+
+namespace ib12x::mvx {
+
+Matcher::Matcher(TelemetryRegistry& tel)
+    : unexpected_ctr_(tel.counter("matcher.unexpected")),
+      reorder_parked_ctr_(tel.counter("matcher.reorder_parked")),
+      reorder_depth_peak_(tel.counter("matcher.reorder_depth_peak")),
+      matched_ctr_(tel.counter("matcher.matched")) {}
+
+std::uint32_t Matcher::next_send_seq(int peer, int ctx) {
+  return send_seq_[{peer, ctx}]++;
+}
+
+std::vector<Matcher::Inbound> Matcher::sequence(int peer, const MsgHeader& hdr,
+                                                std::vector<std::byte> payload) {
+  std::vector<Inbound> ready;
+  std::uint32_t& next = next_seq_[{peer, hdr.ctx}];
+  if (hdr.seq != next) {
+    // Arrived ahead of order (multi-rail round robin / striping race): park
+    // until the gap closes.
+    reorder_.emplace(std::make_tuple(peer, hdr.ctx, hdr.seq),
+                     Inbound{hdr, std::move(payload)});
+    reorder_parked_ctr_.inc();
+    reorder_depth_peak_.track_max(reorder_.size());
+    return ready;
+  }
+  ++next;
+  ready.push_back(Inbound{hdr, std::move(payload)});
+  // Drain any now-contiguous parked messages.
+  for (auto it = reorder_.find({peer, hdr.ctx, next}); it != reorder_.end();
+       it = reorder_.find({peer, hdr.ctx, next})) {
+    ready.push_back(std::move(it->second));
+    reorder_.erase(it);
+    ++next;
+  }
+  return ready;
+}
+
+bool Matcher::header_matches(const MsgHeader& hdr, int src, int tag, int ctx) {
+  if (hdr.ctx != ctx) return false;
+  if (src != -1 && hdr.src_rank != src) return false;
+  if (tag != -1 && hdr.tag != tag) return false;
+  return true;
+}
+
+Request Matcher::match_posted(const MsgHeader& hdr) {
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    if (!header_matches(hdr, it->src, it->tag, it->ctx)) continue;
+    Request req = it->req;
+    posted_.erase(it);
+    matched_ctr_.inc();
+    return req;
+  }
+  return nullptr;
+}
+
+void Matcher::store_unexpected(Inbound&& msg) {
+  unexpected_ctr_.inc();
+  unexpected_.push_back(std::move(msg));
+}
+
+std::optional<Matcher::Inbound> Matcher::claim_unexpected(int src, int tag, int ctx) {
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (!header_matches(it->hdr, src, tag, ctx)) continue;
+    Inbound msg = std::move(*it);
+    unexpected_.erase(it);
+    matched_ctr_.inc();
+    return msg;
+  }
+  return std::nullopt;
+}
+
+void Matcher::post(Request req, int src, int tag, int ctx) {
+  posted_.push_back(PostedRecv{std::move(req), src, tag, ctx});
+}
+
+bool Matcher::iprobe(int src, int tag, int ctx, Status* st) const {
+  for (const Inbound& u : unexpected_) {
+    if (!header_matches(u.hdr, src, tag, ctx)) continue;
+    if (st != nullptr) {
+      *st = {u.hdr.src_rank, u.hdr.tag, static_cast<std::int64_t>(u.hdr.size)};
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace ib12x::mvx

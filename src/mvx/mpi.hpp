@@ -7,4 +7,5 @@
 #include "mvx/endpoint.hpp"  // IWYU pragma: export
 #include "mvx/policy.hpp"    // IWYU pragma: export
 #include "mvx/request.hpp"   // IWYU pragma: export
+#include "mvx/telemetry.hpp" // IWYU pragma: export
 #include "mvx/world.hpp"     // IWYU pragma: export

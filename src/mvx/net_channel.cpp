@@ -1,0 +1,348 @@
+#include "mvx/net_channel.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "mvx/matcher.hpp"
+
+namespace ib12x::mvx {
+
+NetChannel::NetChannel(ChannelHost& host, std::vector<ib::Hca*> hcas)
+    : Channel(host),
+      hcas_(std::move(hcas)),
+      eager_sent_(host.telemetry().counter("net.eager_sent")),
+      ctl_sent_(host.telemetry().counter("net.ctl_sent")),
+      bytes_sent_(host.telemetry().counter("net.bytes_sent")),
+      credit_stalls_(host.telemetry().counter("net.credit_stalls")) {
+  if (static_cast<int>(hcas_.size()) > kMaxHcas) {
+    throw std::invalid_argument("NetChannel: too many HCAs per node");
+  }
+  scq_.set_callback([this](const ib::Wc& wc) { on_send_cqe(wc); });
+  rcq_.set_callback([this](const ib::Wc& wc) { on_recv_cqe(wc); });
+
+  const Config& cfg = host_.config();
+  const std::size_t slot_bytes = kHeaderBytes + static_cast<std::size_t>(cfg.rndv_threshold);
+  bounce_.resize(static_cast<std::size_t>(cfg.send_bounce_bufs));
+  for (std::size_t i = 0; i < bounce_.size(); ++i) {
+    bounce_[i].data.resize(slot_bytes);
+    for (std::size_t h = 0; h < hcas_.size(); ++h) {
+      bounce_[i].lkey[h] =
+          hcas_[h]->mem().register_memory(bounce_[i].data.data(), slot_bytes).lkey;
+    }
+    free_bounce_.push_back(static_cast<int>(i));
+  }
+}
+
+NetChannel::~NetChannel() = default;
+
+void NetChannel::connect(NetChannel& a, NetChannel& b) {
+  const Config& cfg = a.host_.config();
+  Peer& ca = a.peers_[b.host_.rank()];
+  Peer& cb = b.peers_[a.host_.rank()];
+
+  // SRQ mode: one shared receive queue per local HCA, created on first use.
+  auto ensure_srqs = [](NetChannel& ch) {
+    if (!ch.host_.config().use_srq || !ch.srqs_.empty()) return;
+    for (ib::Hca* hca : ch.hcas_) ch.srqs_.push_back(&hca->create_srq());
+  };
+  ensure_srqs(a);
+  ensure_srqs(b);
+
+  const std::size_t slot_bytes = kHeaderBytes + static_cast<std::size_t>(cfg.rndv_threshold);
+  auto prepost = [&](NetChannel& ch, ib::QueuePair* qp, int hca_index, int peer) {
+    for (int i = 0; i < cfg.eager_credits; ++i) {
+      auto slot = std::make_unique<RecvSlot>();
+      slot->buf.resize(slot_bytes);
+      slot->peer = peer;
+      // Receive buffers only need registration in the domain of the HCA the
+      // QP lives on.
+      slot->lkey = qp->port().hca().mem().register_memory(slot->buf.data(), slot_bytes).lkey;
+      const ib::RecvWr wr{.wr_id = reinterpret_cast<std::uint64_t>(slot.get()),
+                          .dst = slot->buf.data(),
+                          .length = static_cast<std::uint32_t>(slot_bytes),
+                          .lkey = slot->lkey};
+      if (cfg.use_srq) {
+        slot->srq = ch.srqs_.at(static_cast<std::size_t>(hca_index));
+        slot->srq->post(wr);
+      } else {
+        slot->qp = qp;
+        qp->post_recv(wr);
+      }
+      ch.recv_slots_.push_back(std::move(slot));
+    }
+  };
+
+  for (int h = 0; h < cfg.hcas_per_node; ++h) {
+    for (int p = 0; p < cfg.ports_per_hca; ++p) {
+      for (int q = 0; q < cfg.qps_per_port; ++q) {
+        ib::SharedReceiveQueue* srq_a =
+            cfg.use_srq ? a.srqs_.at(static_cast<std::size_t>(h)) : nullptr;
+        ib::SharedReceiveQueue* srq_b =
+            cfg.use_srq ? b.srqs_.at(static_cast<std::size_t>(h)) : nullptr;
+        ib::QueuePair& qa =
+            a.hcas_.at(static_cast<std::size_t>(h))->create_qp(p, a.scq_, a.rcq_, srq_a);
+        ib::QueuePair& qb =
+            b.hcas_.at(static_cast<std::size_t>(h))->create_qp(p, b.scq_, b.rcq_, srq_b);
+        ib::Fabric::connect(qa, qb);
+        ca.rails.push_back(Rail{&qa, h, cfg.eager_credits, 0});
+        cb.rails.push_back(Rail{&qb, h, cfg.eager_credits, 0});
+        prepost(a, &qa, h, b.host_.rank());
+        prepost(b, &qb, h, a.host_.rank());
+      }
+    }
+  }
+}
+
+NetChannel::Peer& NetChannel::peer(int rank) {
+  auto it = peers_.find(rank);
+  if (it == peers_.end()) {
+    throw std::logic_error("NetChannel " + std::to_string(host_.rank()) +
+                           ": no connection to rank " + std::to_string(rank));
+  }
+  return it->second;
+}
+
+const NetChannel::Peer& NetChannel::peer(int rank) const {
+  return const_cast<NetChannel*>(this)->peer(rank);
+}
+
+bool NetChannel::accepts(int peer_rank, std::int64_t /*bytes*/) const {
+  return peers_.count(peer_rank) != 0;
+}
+
+int NetChannel::nrails(int peer_rank) const {
+  return static_cast<int>(peer(peer_rank).rails.size());
+}
+
+RailCursor& NetChannel::cursor(int peer_rank) { return peer(peer_rank).cursor; }
+
+std::vector<std::int64_t> NetChannel::rail_outstanding(int peer_rank) const {
+  const Peer& c = peer(peer_rank);
+  std::vector<std::int64_t> out;
+  out.reserve(c.rails.size());
+  for (const Rail& r : c.rails) out.push_back(r.outstanding);
+  return out;
+}
+
+// ------------------------------------------------------------- eager sends
+
+int NetChannel::acquire_bounce_and_credit(Peer& c, int rail) {
+  Rail& r = c.rails.at(static_cast<std::size_t>(rail));
+  if (r.credits <= 0 || free_bounce_.empty()) credit_stalls_.inc();
+  host_.process().wait_until(host_.progress(), [&] { return r.credits > 0 && !free_bounce_.empty(); });
+  // Reserve both resources NOW: between this call and the eventual
+  // post_eager the process charges CPU time, during which an event-context
+  // control send could otherwise steal the last credit and trigger RNR.
+  --r.credits;
+  int b = free_bounce_.back();
+  free_bounce_.pop_back();
+  return b;
+}
+
+void NetChannel::post_eager(Peer& c, int peer_rank, int rail, int bounce, const MsgHeader& hdr,
+                            const void* payload, std::int64_t bytes) {
+  Rail& r = c.rails.at(static_cast<std::size_t>(rail));
+  BounceBuf& bb = bounce_[static_cast<std::size_t>(bounce)];
+  write_header(bb.data.data(), hdr);
+  if (bytes > 0) std::memcpy(bb.data.data() + kHeaderBytes, payload, static_cast<std::size_t>(bytes));
+
+  // The caller has already reserved the credit (acquire_bounce_and_credit
+  // or send_ctl); post_eager only performs the copy and the post.
+  auto* ctx = new SendCtx{SendCtx::Kind::Bounce, peer_rank, rail, bounce, 0,
+                          static_cast<std::int64_t>(kHeaderBytes) + bytes};
+  r.outstanding += static_cast<std::int64_t>(kHeaderBytes) + bytes;
+  if (r.credits < 0) throw std::logic_error("post_eager: credit underflow");
+  r.qp->post_send({.wr_id = reinterpret_cast<std::uint64_t>(ctx),
+                   .opcode = ib::Opcode::Send,
+                   .src = bb.data.data(),
+                   .length = static_cast<std::uint32_t>(kHeaderBytes + bytes),
+                   .lkey = bb.lkey[r.hca_index]});
+}
+
+void NetChannel::send(int peer_rank, CommKind kind, const void* buf, std::int64_t bytes, int tag,
+                      int ctx, const Request& req) {
+  Peer& c = peer(peer_rank);
+  const Config& cfg = host_.config();
+  Schedule s = choose_schedule(cfg.policy, kind, bytes, static_cast<int>(c.rails.size()),
+                               cfg.stripe_threshold, c.cursor);
+  int rail = s.stripe ? 0 : s.rail;  // eager never stripes
+  if (cfg.policy == Policy::Adaptive) rail = least_loaded_rail(rail_outstanding(peer_rank));
+
+  int bounce = acquire_bounce_and_credit(c, rail);
+  host_.process().compute(cfg.post_cpu +
+                          host_.memcpy_time(static_cast<std::int64_t>(kHeaderBytes) + bytes));
+
+  MsgHeader hdr;
+  hdr.type = MsgType::Eager;
+  hdr.kind = static_cast<std::uint8_t>(kind);
+  hdr.src_rank = host_.rank();
+  hdr.tag = tag;
+  hdr.ctx = ctx;
+  hdr.seq = host_.matcher().next_send_seq(peer_rank, ctx);
+  hdr.size = static_cast<std::uint64_t>(bytes);
+  post_eager(c, peer_rank, rail, bounce, hdr, buf, bytes);
+
+  eager_sent_.inc();
+  bytes_sent_.add(static_cast<std::uint64_t>(bytes));
+
+  // Eager sends are buffered: the user buffer is reusable immediately.
+  req->done = true;
+  req->completed_at = host_.simulator().now();
+}
+
+// ---------------------------------------------------------------- controls
+
+void NetChannel::send_ctl_blocking(int peer_rank, int rail, const MsgHeader& hdr) {
+  Peer& c = peer(peer_rank);
+  int bounce = acquire_bounce_and_credit(c, rail);
+  host_.process().compute(host_.config().post_cpu);
+  post_eager(c, peer_rank, rail, bounce, hdr, nullptr, 0);
+}
+
+void NetChannel::send_ctl(int peer_rank, const MsgHeader& hdr, const CtsRkeys& rkeys) {
+  Peer& c = peer(peer_rank);
+  // Pick the first rail (starting at the cursor) with a credit.
+  const int n = static_cast<int>(c.rails.size());
+  int rail = -1;
+  for (int i = 0; i < n; ++i) {
+    int cand = (c.cursor.next + i) % n;
+    if (c.rails[static_cast<std::size_t>(cand)].credits > 0) {
+      rail = cand;
+      break;
+    }
+  }
+  if (rail < 0 || free_bounce_.empty()) {
+    c.pending_ctl.emplace_back(hdr, rkeys);
+    return;
+  }
+  --c.rails.at(static_cast<std::size_t>(rail)).credits;  // reserve
+  int bounce = free_bounce_.back();
+  free_bounce_.pop_back();
+  const std::int64_t payload_bytes = hdr.type == MsgType::Cts ? sizeof(CtsRkeys) : 0;
+  post_eager(c, peer_rank, rail, bounce, hdr, &rkeys, payload_bytes);
+  ctl_sent_.inc();
+}
+
+void NetChannel::flush_pending_ctl(int peer_rank) {
+  Peer& c = peer(peer_rank);
+  while (!c.pending_ctl.empty()) {
+    auto [hdr, rkeys] = c.pending_ctl.front();
+    const std::size_t before = c.pending_ctl.size();
+    c.pending_ctl.pop_front();
+    send_ctl(peer_rank, hdr, rkeys);
+    if (c.pending_ctl.size() >= before) return;  // still stuck
+  }
+}
+
+// ------------------------------------------------------- rendezvous writes
+
+void NetChannel::post_write(int peer_rank, const RndvStripe& st) {
+  Peer& c = peer(peer_rank);
+  Rail& r = c.rails.at(static_cast<std::size_t>(st.rail));
+  auto* sctx = new SendCtx{SendCtx::Kind::RndvWrite, peer_rank, st.rail, -1, st.req_id, st.len};
+  r.outstanding += st.len;
+  ib::SendWr wr;
+  wr.wr_id = reinterpret_cast<std::uint64_t>(sctx);
+  wr.opcode = ib::Opcode::RdmaWrite;
+  wr.src = st.src;
+  wr.length = static_cast<std::uint32_t>(st.len);
+  wr.lkey = st.len > 0 ? st.lkeys[static_cast<std::size_t>(r.hca_index)] : 0;
+  wr.remote_addr = st.raddr;
+  wr.rkey = st.rkeys.rkey[r.hca_index];
+  r.qp->post_send(wr);
+}
+
+// ------------------------------------------------------- fast-path posting
+
+void NetChannel::post_fp_write(int peer_rank, const std::byte* src, std::uint32_t len,
+                               ib::LKey lkey, std::uint64_t raddr, ib::RKey rkey,
+                               std::function<void()> delivered_cb) {
+  Peer& c = peer(peer_rank);
+  Rail& r = c.rails.front();  // the fast path rides rail 0
+  auto* sctx = new SendCtx{SendCtx::Kind::FpWrite, peer_rank, 0, -1, 0,
+                           static_cast<std::int64_t>(len)};
+  r.outstanding += static_cast<std::int64_t>(len);
+  ib::SendWr wr;
+  wr.wr_id = reinterpret_cast<std::uint64_t>(sctx);
+  wr.opcode = ib::Opcode::RdmaWrite;
+  wr.src = src;
+  wr.length = len;
+  wr.lkey = lkey;
+  wr.remote_addr = raddr;
+  wr.rkey = rkey;
+  wr.delivered_cb = std::move(delivered_cb);
+  r.qp->post_send(wr);
+}
+
+// ------------------------------------------------------------ inbound path
+
+void NetChannel::on_send_cqe(const ib::Wc& wc) {
+  auto* sctx = reinterpret_cast<SendCtx*>(wc.wr_id);
+  // Polling and processing a completion costs host CPU, serialized with all
+  // other protocol work of this rank — per-stripe CQEs are a real per-stripe
+  // tax ("receipt of multiple acknowledgments", paper §4.3).
+  host_.schedule_cpu(host_.config().cqe_sw, [this, sctx] {
+    Peer& c = peer(sctx->peer);
+    c.rails.at(static_cast<std::size_t>(sctx->rail)).outstanding -= sctx->bytes;
+    switch (sctx->kind) {
+      case SendCtx::Kind::Bounce: {
+        ++c.rails.at(static_cast<std::size_t>(sctx->rail)).credits;
+        free_bounce_.push_back(sctx->bounce);
+        flush_pending_ctl(sctx->peer);
+        host_.progress().notify_all();
+        break;
+      }
+      case SendCtx::Kind::FpWrite:
+        break;  // staging slot reuse is gated by the fast-path credit
+      case SendCtx::Kind::RndvWrite: {
+        host_.on_rndv_write_done(sctx->peer, sctx->req_id);
+        break;
+      }
+    }
+    delete sctx;
+  });
+}
+
+void NetChannel::on_recv_cqe(const ib::Wc& wc) {
+  auto* slot = reinterpret_cast<RecvSlot*>(wc.wr_id);
+  MsgHeader hdr = read_header(slot->buf.data());
+  const std::byte* payload = slot->buf.data() + kHeaderBytes;
+
+  switch (hdr.type) {
+    case MsgType::Eager:
+    case MsgType::Rts: {
+      std::vector<std::byte> copy;
+      if (hdr.type == MsgType::Eager && hdr.size > 0) {
+        copy.assign(payload, payload + hdr.size);
+      }
+      host_.ingress(hdr.src_rank, hdr, std::move(copy));
+      break;
+    }
+    case MsgType::Cts: {
+      CtsRkeys rkeys;
+      std::memcpy(&rkeys, payload, sizeof(rkeys));
+      host_.on_ctl(hdr, rkeys);
+      break;
+    }
+    case MsgType::Fin: {
+      host_.on_ctl(hdr, CtsRkeys{});
+      break;
+    }
+  }
+
+  // Recycle the receive slot immediately (MVAPICH reposts vbufs eagerly; the
+  // sender's credit only returns with its CQE, which is always later).
+  const ib::RecvWr repost{.wr_id = wc.wr_id,
+                          .dst = slot->buf.data(),
+                          .length = static_cast<std::uint32_t>(slot->buf.size()),
+                          .lkey = slot->lkey};
+  if (slot->srq != nullptr) {
+    slot->srq->post(repost);
+  } else {
+    slot->qp->post_recv(repost);
+  }
+}
+
+}  // namespace ib12x::mvx

@@ -1,0 +1,156 @@
+// The inter-node network channel: rails (QPs across HCAs × ports), credit-
+// based eager flow control over bounce buffers, control-message transport
+// for the rendezvous protocol, and the CQE demultiplexers (paper fig. 2's
+// "communication scheduler" + "eager protocol" + "completion filter" boxes).
+//
+// The channel owns everything rail-shaped that used to live tangled in the
+// endpoint's PeerConn: per-peer rail vectors, credits, the round-robin
+// cursor, the pending-control queue, the shared bounce pool, preposted
+// receive slots and SRQs.  Rendezvous data movement is planned by the
+// Rendezvous module but posted through this channel (post_write), so all
+// rail accounting stays in one place.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "ib/verbs.hpp"
+#include "mvx/channel.hpp"
+#include "mvx/policy.hpp"
+#include "mvx/telemetry.hpp"
+
+namespace ib12x::mvx {
+
+class NetChannel final : public Channel {
+ public:
+  NetChannel(ChannelHost& host, std::vector<ib::Hca*> hcas);
+  ~NetChannel() override;
+
+  /// Builds the rail set (hcas × ports × qps QP pairs) between two channels
+  /// on different nodes and preposts eager receive slots.
+  static void connect(NetChannel& a, NetChannel& b);
+
+  [[nodiscard]] bool accepts(int peer, std::int64_t bytes) const override;
+
+  /// Eager send (bytes < rndv_threshold); larger messages go through the
+  /// Rendezvous module, which posts on this channel.
+  void send(int peer, CommKind kind, const void* buf, std::int64_t bytes, int tag, int ctx,
+            const Request& req) override;
+
+  // ---- services for the Rendezvous module ----
+
+  /// Control-message send from event context: takes credit/bounce if
+  /// available, otherwise queues until a credit returns.
+  void send_ctl(int peer, const MsgHeader& hdr, const CtsRkeys& rkeys);
+
+  /// Process-context control send (RTS): blocks for credit and bounce on
+  /// `rail`, charges post_cpu, then posts the header-only message.
+  void send_ctl_blocking(int peer, int rail, const MsgHeader& hdr);
+
+  [[nodiscard]] int nrails(int peer) const;
+  [[nodiscard]] RailCursor& cursor(int peer);
+  /// Per-rail outstanding bytes (the gauge the Adaptive policy balances on).
+  [[nodiscard]] std::vector<std::int64_t> rail_outstanding(int peer) const;
+
+  /// One rendezvous RDMA-write stripe; lkeys/rkeys are per HCA domain and
+  /// the channel resolves them through the rail's HCA index.
+  struct RndvStripe {
+    int rail = 0;
+    const std::byte* src = nullptr;
+    std::int64_t len = 0;
+    std::uint64_t raddr = 0;
+    std::uint64_t req_id = 0;  ///< reported back via ChannelHost::on_rndv_write_done
+    std::array<ib::LKey, kMaxHcas> lkeys{};
+    CtsRkeys rkeys;
+  };
+  void post_write(int peer, const RndvStripe& st);
+
+  // ---- services for the fast-path channel (rides rail 0) ----
+
+  void post_fp_write(int peer, const std::byte* src, std::uint32_t len, ib::LKey lkey,
+                     std::uint64_t raddr, ib::RKey rkey, std::function<void()> delivered_cb);
+
+  [[nodiscard]] const std::vector<ib::Hca*>& hcas() const { return hcas_; }
+
+ private:
+  /// A preposted receive slot on one QP; recycled after each inbound message.
+  struct RecvSlot {
+    ib::QueuePair* qp = nullptr;            ///< repost target (per-QP RQ mode)
+    ib::SharedReceiveQueue* srq = nullptr;  ///< repost target (SRQ mode)
+    std::vector<std::byte> buf;
+    ib::LKey lkey = 0;
+    int peer = -1;
+  };
+
+  /// One rail to one peer: a connected QP plus sender-side credits and the
+  /// outstanding-byte gauge the Adaptive policy balances on.
+  struct Rail {
+    ib::QueuePair* qp = nullptr;
+    int hca_index = 0;
+    int credits = 0;
+    std::int64_t outstanding = 0;
+  };
+
+  /// An eager bounce buffer registered in every local HCA domain.
+  struct BounceBuf {
+    std::vector<std::byte> data;
+    ib::LKey lkey[kMaxHcas] = {0, 0, 0, 0};
+  };
+
+  struct Peer {
+    std::vector<Rail> rails;
+    RailCursor cursor;
+    /// Control messages waiting for rail credit.
+    std::deque<std::pair<MsgHeader, CtsRkeys>> pending_ctl;
+  };
+
+  /// Sender-side context attached to each send WQE via wr_id.
+  struct SendCtx {
+    enum class Kind : std::uint8_t { Bounce, RndvWrite, FpWrite } kind = Kind::Bounce;
+    int peer = -1;
+    int rail = -1;
+    int bounce = -1;           // Bounce: index into bounce pool
+    std::uint64_t req_id = 0;  // RndvWrite: outstanding request
+    std::int64_t bytes = 0;    // outstanding-byte accounting
+  };
+
+  Peer& peer(int rank);
+  [[nodiscard]] const Peer& peer(int rank) const;
+
+  /// Blocks the process until rail `r` has a send credit and a bounce buffer
+  /// is free; returns the bounce index.
+  int acquire_bounce_and_credit(Peer& c, int rail);
+
+  /// Sends header(+payload) on one rail, consuming a credit and a bounce
+  /// buffer the caller already reserved.  Process- or event-context
+  /// agnostic.
+  void post_eager(Peer& c, int peer_rank, int rail, int bounce, const MsgHeader& hdr,
+                  const void* payload, std::int64_t bytes);
+  void flush_pending_ctl(int peer_rank);
+
+  void on_send_cqe(const ib::Wc& wc);
+  void on_recv_cqe(const ib::Wc& wc);
+
+  std::vector<ib::Hca*> hcas_;
+
+  ib::CompletionQueue scq_;
+  ib::CompletionQueue rcq_;
+
+  std::map<int, Peer> peers_;
+  std::vector<std::unique_ptr<RecvSlot>> recv_slots_;
+  std::vector<ib::SharedReceiveQueue*> srqs_;  ///< per local HCA, SRQ mode only
+
+  std::vector<BounceBuf> bounce_;
+  std::vector<int> free_bounce_;
+
+  Counter& eager_sent_;
+  Counter& ctl_sent_;
+  Counter& bytes_sent_;
+  Counter& credit_stalls_;
+};
+
+}  // namespace ib12x::mvx

@@ -75,4 +75,14 @@ Schedule choose_schedule(Policy policy, CommKind kind, std::int64_t bytes,
   return Schedule{};
 }
 
+int least_loaded_rail(const std::vector<std::int64_t>& outstanding) {
+  int best = 0;
+  for (int i = 1; i < static_cast<int>(outstanding.size()); ++i) {
+    if (outstanding[static_cast<std::size_t>(i)] < outstanding[static_cast<std::size_t>(best)]) {
+      best = i;
+    }
+  }
+  return best;
+}
+
 }  // namespace ib12x::mvx

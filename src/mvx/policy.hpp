@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace ib12x::mvx {
 
@@ -56,5 +57,10 @@ const char* to_string(CommKind k);
 ///                                   blocking traffic)
 Schedule choose_schedule(Policy policy, CommKind kind, std::int64_t bytes,
                          int nrails, std::int64_t stripe_threshold, RailCursor& cursor);
+
+/// The Adaptive policy's rail pick: the rail with the fewest outstanding
+/// bytes (ties broken toward the lowest index).  `outstanding` is the
+/// per-rail outstanding-byte gauge the channel maintains.
+int least_loaded_rail(const std::vector<std::int64_t>& outstanding);
 
 }  // namespace ib12x::mvx

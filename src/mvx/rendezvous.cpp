@@ -1,0 +1,238 @@
+#include "mvx/rendezvous.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mvx/matcher.hpp"
+#include "mvx/net_channel.hpp"
+#include "sim/log.hpp"
+
+namespace ib12x::mvx {
+
+Rendezvous::Rendezvous(ChannelHost& host, NetChannel& net)
+    : host_(host),
+      net_(net),
+      rts_sent_(host.telemetry().counter("rndv.rts_sent")),
+      bytes_sent_(host.telemetry().counter("rndv.bytes_sent")),
+      stripes_posted_(host.telemetry().counter("rndv.stripes_posted")),
+      reg_hits_(host.telemetry().counter("rndv.reg_cache_hits")),
+      reg_misses_(host.telemetry().counter("rndv.reg_cache_misses")) {}
+
+// ----------------------------------------------------------------- cookies
+
+std::uint64_t Rendezvous::new_cookie(const Request& req) {
+  std::uint64_t id = next_cookie_++;
+  outstanding_[id] = req;
+  return id;
+}
+
+Request Rendezvous::take_cookie(std::uint64_t id) {
+  auto it = outstanding_.find(id);
+  if (it == outstanding_.end()) {
+    throw std::logic_error("Rendezvous: unknown request cookie " + std::to_string(id));
+  }
+  Request r = it->second;
+  outstanding_.erase(it);
+  return r;
+}
+
+Request Rendezvous::peek_cookie(std::uint64_t id) {
+  auto it = outstanding_.find(id);
+  if (it == outstanding_.end()) {
+    throw std::logic_error("Rendezvous: unknown request cookie " + std::to_string(id));
+  }
+  return it->second;
+}
+
+// -------------------------------------------------------------- reg cache
+
+const Rendezvous::RegEntry& Rendezvous::register_cached(const void* buf, std::int64_t bytes,
+                                                        sim::Time* cpu_cost) {
+  const Config& cfg = host_.config();
+  auto it = reg_cache_.find(buf);
+  if (it != reg_cache_.end()) {
+    // A cached entry that is too small must be (cheaply) re-registered.
+    if (it->second.mr[0].length >= static_cast<std::uint64_t>(bytes)) {
+      *cpu_cost += cfg.reg_cache_hit;
+      reg_hits_.inc();
+      return it->second;
+    }
+    reg_cache_.erase(it);
+  }
+  RegEntry entry;
+  const std::vector<ib::Hca*>& hcas = net_.hcas();
+  for (std::size_t h = 0; h < hcas.size(); ++h) {
+    entry.mr[h] = hcas[h]->mem().register_memory(const_cast<void*>(buf),
+                                                 static_cast<std::size_t>(bytes));
+  }
+  *cpu_cost += cfg.reg_cache_miss;
+  reg_misses_.inc();
+  return reg_cache_.emplace(buf, entry).first->second;
+}
+
+// ---------------------------------------------------------------- protocol
+
+void Rendezvous::send_rts(int peer, CommKind kind, const void* /*buf*/, std::int64_t bytes,
+                          int tag, int ctx, const Request& req) {
+  // Control messages round-robin over rails; the data schedule is decided at
+  // CTS time by the marker-driven policy.
+  RailCursor ctl_cursor = net_.cursor(peer);  // do not disturb the data cursor
+  Schedule s = choose_schedule(Policy::RoundRobin, kind, 0, net_.nrails(peer),
+                               host_.config().stripe_threshold, ctl_cursor);
+
+  MsgHeader hdr;
+  hdr.type = MsgType::Rts;
+  hdr.kind = static_cast<std::uint8_t>(kind);
+  hdr.src_rank = host_.rank();
+  hdr.tag = tag;
+  hdr.ctx = ctx;
+  hdr.seq = host_.matcher().next_send_seq(peer, ctx);
+  hdr.size = static_cast<std::uint64_t>(bytes);
+  hdr.sender_cookie = new_cookie(req);
+  net_.send_ctl_blocking(peer, s.rail, hdr);
+  rts_sent_.inc();
+  bytes_sent_.add(static_cast<std::uint64_t>(bytes));
+}
+
+void Rendezvous::accept(const MsgHeader& rts, const Request& req) {
+  req->status = {rts.src_rank, rts.tag, static_cast<std::int64_t>(rts.size)};
+  req->peer = rts.src_rank;
+
+  const Config& cfg = host_.config();
+  sim::Time cost = 0;
+  CtsRkeys rkeys;
+  if (rts.size > 0) {
+    const RegEntry& reg =
+        register_cached(req->recv_buf, static_cast<std::int64_t>(rts.size), &cost);
+    for (std::size_t h = 0; h < net_.hcas().size(); ++h) rkeys.rkey[h] = reg.mr[h].rkey;
+  }
+
+  MsgHeader cts;
+  cts.type = MsgType::Cts;
+  cts.src_rank = host_.rank();
+  cts.ctx = rts.ctx;
+  cts.size = rts.size;
+  cts.sender_cookie = rts.sender_cookie;
+  cts.receiver_cookie = new_cookie(req);
+  cts.raddr = reinterpret_cast<std::uint64_t>(req->recv_buf);
+
+  const int peer = rts.src_rank;
+  host_.schedule_cpu(cost + cfg.ctl_cpu + cfg.post_cpu,
+                     [this, peer, cts, rkeys] { net_.send_ctl(peer, cts, rkeys); });
+}
+
+void Rendezvous::on_cts(const MsgHeader& hdr, const CtsRkeys& rkeys) {
+  Request req = peek_cookie(hdr.sender_cookie);
+  IB12X_DEBUG(host_.simulator().now(), "rank%d: CTS for cookie %llu size %llu", host_.rank(),
+              (unsigned long long)hdr.sender_cookie, (unsigned long long)hdr.size);
+  req->peer_cookie = hdr.receiver_cookie;
+  start_writes(req->peer, req, hdr, rkeys);
+}
+
+void Rendezvous::start_writes(int peer, const Request& req, const MsgHeader& cts,
+                              const CtsRkeys& rkeys) {
+  const Config& cfg = host_.config();
+  const std::int64_t bytes = req->bytes;
+  const int nrails = net_.nrails(peer);
+  Schedule s = choose_schedule(cfg.policy, static_cast<CommKind>(req->kind), bytes, nrails,
+                               cfg.stripe_threshold, net_.cursor(peer));
+
+  struct Stripe {
+    int rail;
+    std::int64_t offset;
+    std::int64_t len;
+  };
+  std::vector<Stripe> stripes;
+  if (s.stripe && bytes > 0) {
+    // Striping over all rails (never cutting below min_stripe); stripe sizes
+    // follow the configured rail weights for WeightedStriping, equal shares
+    // otherwise.
+    const int n = static_cast<int>(std::min<std::int64_t>(
+        nrails, std::max<std::int64_t>(1, bytes / cfg.min_stripe)));
+    std::vector<double> w(static_cast<std::size_t>(n), 1.0);
+    if (cfg.policy == Policy::WeightedStriping && !cfg.rail_weights.empty()) {
+      for (int i = 0; i < n; ++i) {
+        w[static_cast<std::size_t>(i)] =
+            cfg.rail_weights[static_cast<std::size_t>(i) % cfg.rail_weights.size()];
+      }
+    }
+    double wsum = 0;
+    for (double x : w) wsum += x;
+    std::int64_t off = 0;
+    for (int i = 0; i < n; ++i) {
+      std::int64_t len = i + 1 == n
+                             ? bytes - off
+                             : static_cast<std::int64_t>(static_cast<double>(bytes) *
+                                                         w[static_cast<std::size_t>(i)] / wsum);
+      stripes.push_back({i, off, len});
+      off += len;
+    }
+  } else if (cfg.policy == Policy::Adaptive) {
+    stripes.push_back({least_loaded_rail(net_.rail_outstanding(peer)), 0, bytes});
+  } else {
+    stripes.push_back({s.rail, 0, bytes});
+  }
+
+  sim::Time cost = cfg.ctl_cpu;
+  std::array<ib::LKey, kMaxHcas> lkeys{};
+  if (bytes > 0) {
+    const RegEntry& reg = register_cached(req->send_buf, bytes, &cost);
+    for (int h = 0; h < kMaxHcas; ++h) lkeys[static_cast<std::size_t>(h)] = reg.mr[h].lkey;
+  }
+
+  req->pending_writes = static_cast<int>(stripes.size());
+  stripes_posted_.add(stripes.size());
+  const std::uint64_t req_id = cts.sender_cookie;
+
+  // Descriptor posting is serialized on the host CPU (WQE build + doorbell
+  // per stripe), queued behind any other protocol work this rank is doing.
+  // This is one of the per-stripe costs that make striping lose to
+  // round-robin for medium messages (paper §3.2).
+  for (std::size_t i = 0; i < stripes.size(); ++i) {
+    const Stripe st = stripes[i];
+    const sim::Time when = (i == 0 ? cost : 0) + cfg.post_cpu;
+    const std::uint64_t raddr = cts.raddr;
+    host_.schedule_cpu(when, [this, peer, st, req_id, raddr, rkeys, lkeys] {
+      Request req = peek_cookie(req_id);
+      NetChannel::RndvStripe wr;
+      wr.rail = st.rail;
+      wr.src = static_cast<const std::byte*>(req->send_buf) + st.offset;
+      wr.len = st.len;
+      wr.raddr = raddr + static_cast<std::uint64_t>(st.offset);
+      wr.req_id = req_id;
+      wr.lkeys = lkeys;
+      wr.rkeys = rkeys;
+      net_.post_write(peer, wr);
+    });
+  }
+}
+
+void Rendezvous::on_write_done(int peer, std::uint64_t req_id) {
+  Request req = peek_cookie(req_id);
+  IB12X_DEBUG(host_.simulator().now(), "rank%d: write CQE cookie %llu remaining %d", host_.rank(),
+              (unsigned long long)req_id, req->pending_writes - 1);
+  if (--req->pending_writes == 0) {
+    // All stripes placed remotely (CQE implies remote visibility): tell the
+    // receiver and complete the local send.
+    MsgHeader fin;
+    fin.type = MsgType::Fin;
+    fin.src_rank = host_.rank();
+    fin.receiver_cookie = req->peer_cookie;
+    net_.send_ctl(peer, fin, CtsRkeys{});
+    take_cookie(req_id);
+    host_.complete_request(req);
+  }
+}
+
+void Rendezvous::on_fin(const MsgHeader& hdr) {
+  Request req = take_cookie(hdr.receiver_cookie);
+  IB12X_DEBUG(host_.simulator().now(), "rank%d: FIN for cookie %llu", host_.rank(),
+              (unsigned long long)hdr.receiver_cookie);
+  host_.schedule_cpu(host_.config().ctl_cpu, [this, req] { host_.complete_request(req); });
+}
+
+}  // namespace ib12x::mvx

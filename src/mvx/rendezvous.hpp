@@ -1,0 +1,73 @@
+// The rendezvous protocol module: RTS → CTS(rkeys) → striped RDMA writes →
+// FIN (paper fig. 2's "rendezvous protocol" box plus the striping half of
+// the communication scheduler).
+//
+// Owns the sender/receiver cookie table, the registration cache for user
+// buffers, and stripe planning (even / weighted / adaptive splits).  Data
+// and control movement go through the NetChannel so rail credits and
+// outstanding-byte accounting stay in one place.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "ib/verbs.hpp"
+#include "mvx/channel.hpp"
+#include "mvx/telemetry.hpp"
+
+namespace ib12x::mvx {
+
+class NetChannel;
+
+class Rendezvous {
+ public:
+  Rendezvous(ChannelHost& host, NetChannel& net);
+
+  Rendezvous(const Rendezvous&) = delete;
+  Rendezvous& operator=(const Rendezvous&) = delete;
+
+  /// Sender entry (process context): bytes >= rndv_threshold.
+  void send_rts(int peer, CommKind kind, const void* buf, std::int64_t bytes, int tag, int ctx,
+                const Request& req);
+
+  /// Receiver side of a matched RTS: register the buffer, reply CTS.
+  void accept(const MsgHeader& rts, const Request& req);
+
+  /// CTS arrival at the sender (event context, CPU already charged).
+  void on_cts(const MsgHeader& hdr, const CtsRkeys& rkeys);
+  /// FIN arrival at the receiver (event context).
+  void on_fin(const MsgHeader& hdr);
+  /// One stripe write completed on the wire (requester CQE, CPU charged).
+  void on_write_done(int peer, std::uint64_t req_id);
+
+ private:
+  /// Registration cache entry: per-HCA keys for one user buffer.
+  struct RegEntry {
+    ib::MemoryRegion mr[kMaxHcas];
+  };
+
+  /// Cache lookup; charges hit/miss cost to `*cpu_cost`.
+  const RegEntry& register_cached(const void* buf, std::int64_t bytes, sim::Time* cpu_cost);
+
+  /// Sender side of CTS: plan stripes and post them through the channel.
+  void start_writes(int peer, const Request& req, const MsgHeader& cts, const CtsRkeys& rkeys);
+
+  std::uint64_t new_cookie(const Request& req);
+  Request take_cookie(std::uint64_t id);
+  Request peek_cookie(std::uint64_t id);
+
+  ChannelHost& host_;
+  NetChannel& net_;
+
+  std::map<const void*, RegEntry> reg_cache_;
+  std::map<std::uint64_t, Request> outstanding_;
+  std::uint64_t next_cookie_ = 1;
+
+  Counter& rts_sent_;
+  Counter& bytes_sent_;
+  Counter& stripes_posted_;
+  Counter& reg_hits_;
+  Counter& reg_misses_;
+};
+
+}  // namespace ib12x::mvx

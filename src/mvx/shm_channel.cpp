@@ -1,0 +1,69 @@
+#include "mvx/shm_channel.hpp"
+
+#include <utility>
+
+#include "mvx/matcher.hpp"
+
+namespace ib12x::mvx {
+
+ShmChannel::ShmChannel(ChannelHost& host)
+    : Channel(host),
+      sent_(host.telemetry().counter("shm.sent")),
+      bytes_sent_(host.telemetry().counter("shm.bytes_sent")) {}
+
+void ShmChannel::connect(ShmChannel& a, ShmChannel& b) {
+  Peer& pa = a.peers_[b.host_.rank()];
+  pa.remote = &b;
+  pa.pipe = sim::BandwidthServer("shm", a.host_.config().shm_gbps);
+  Peer& pb = b.peers_[a.host_.rank()];
+  pb.remote = &a;
+  pb.pipe = sim::BandwidthServer("shm", b.host_.config().shm_gbps);
+}
+
+bool ShmChannel::accepts(int peer, std::int64_t /*bytes*/) const {
+  return peers_.count(peer) != 0;
+}
+
+void ShmChannel::send(int peer, CommKind kind, const void* buf, std::int64_t bytes, int tag,
+                      int ctx, const Request& req) {
+  Peer& c = peers_.at(peer);
+  const Config& cfg = host_.config();
+  sim::Simulator& sim = host_.simulator();
+
+  MsgHeader hdr;
+  hdr.type = MsgType::Eager;
+  hdr.kind = static_cast<std::uint8_t>(kind);
+  hdr.src_rank = host_.rank();
+  hdr.tag = tag;
+  hdr.ctx = ctx;
+  hdr.seq = host_.matcher().next_send_seq(peer, ctx);
+  hdr.size = static_cast<std::uint64_t>(bytes);
+
+  // Copy into the (modelled) shared segment; the sender's CPU does this.
+  std::vector<std::byte> payload;
+  if (bytes > 0) {
+    payload.assign(static_cast<const std::byte*>(buf),
+                   static_cast<const std::byte*>(buf) + bytes);
+  }
+  host_.process().compute(cfg.post_cpu + host_.memcpy_time(bytes));
+
+  auto res = c.pipe.reserve_bytes(sim.now(), sim.now(),
+                                  static_cast<std::int64_t>(kHeaderBytes) + bytes);
+  const sim::Time deliver_at = res.finish + cfg.shm_latency;
+  ShmChannel* remote = c.remote;
+  const int me = host_.rank();
+  sim.at(deliver_at, [remote, me, hdr, payload = std::move(payload)]() mutable {
+    remote->deliver(me, hdr, std::move(payload));
+  });
+
+  sent_.inc();
+  bytes_sent_.add(static_cast<std::uint64_t>(bytes));
+  req->done = true;
+  req->completed_at = sim.now();
+}
+
+void ShmChannel::deliver(int src, MsgHeader hdr, std::vector<std::byte> payload) {
+  host_.ingress(src, hdr, std::move(payload));
+}
+
+}  // namespace ib12x::mvx

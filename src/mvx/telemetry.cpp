@@ -1,0 +1,49 @@
+#include "mvx/telemetry.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace ib12x::mvx {
+
+Counter& TelemetryRegistry::counter(const std::string& name) {
+  counters_.push_back(NamedCounter{name, std::unique_ptr<Counter>(new Counter())});
+  return *counters_.back().counter;
+}
+
+void TelemetryRegistry::gauge(const std::string& name, std::function<double()> sample) {
+  gauges_.push_back(NamedGauge{name, std::move(sample)});
+}
+
+std::vector<TelemetryRegistry::Sample> TelemetryRegistry::snapshot() const {
+  std::map<std::string, double> agg;
+  for (const NamedCounter& c : counters_) {
+    agg[c.name] += static_cast<double>(c.counter->value());
+  }
+  for (const NamedGauge& g : gauges_) {
+    agg[g.name] += g.sample();
+  }
+  std::vector<Sample> out;
+  out.reserve(agg.size());
+  for (const auto& [name, value] : agg) out.push_back(Sample{name, value});
+  return out;
+}
+
+std::uint64_t TelemetryRegistry::counter_value(const std::string& name) const {
+  std::uint64_t sum = 0;
+  for (const NamedCounter& c : counters_) {
+    if (c.name == name) sum += c.counter->value();
+  }
+  return sum;
+}
+
+void TelemetryRegistry::dump(std::FILE* out, const char* title) const {
+  const std::vector<Sample> samples = snapshot();
+  std::size_t width = 0;
+  for (const Sample& s : samples) width = std::max(width, s.name.size());
+  std::fprintf(out, "-- %s --\n", title);
+  for (const Sample& s : samples) {
+    std::fprintf(out, "  %-*s %16.2f\n", static_cast<int>(width), s.name.c_str(), s.value);
+  }
+}
+
+}  // namespace ib12x::mvx

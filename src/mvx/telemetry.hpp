@@ -1,0 +1,84 @@
+// Process-wide telemetry registry: named counters and sampled gauges that
+// every layer of the stack (channels, matcher, rendezvous, the ib HCA model)
+// registers at construction time, replacing per-module ad-hoc stat structs.
+//
+// Counters are cheap monotonic handles owned by the registry; several
+// modules may register the same name (one per channel instance, one per
+// rank) and the registry aggregates them by name at snapshot time.  Gauges
+// are sampled lazily when a snapshot is taken, so registering one costs
+// nothing on the hot path.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ib12x::mvx {
+
+class TelemetryRegistry;
+
+/// A monotonic counter handle.  inc/add are the only hot-path operations the
+/// telemetry layer performs; everything else happens at dump time.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  void add(std::uint64_t n) { value_ += n; }
+  /// High-water-mark update (for depth-style metrics reported as counters).
+  void track_max(std::uint64_t v) {
+    if (v > value_) value_ = v;
+  }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  friend class TelemetryRegistry;
+  Counter() = default;
+  std::uint64_t value_ = 0;
+};
+
+class TelemetryRegistry {
+ public:
+  TelemetryRegistry() = default;
+  TelemetryRegistry(const TelemetryRegistry&) = delete;
+  TelemetryRegistry& operator=(const TelemetryRegistry&) = delete;
+
+  /// Registers a new counter under `name`.  Each call returns a distinct
+  /// handle; same-name handles (e.g. one per channel) sum on snapshot.
+  Counter& counter(const std::string& name);
+
+  /// Registers a sampled gauge: `sample` is invoked at snapshot time.
+  /// Same-name gauges also aggregate by summing.
+  void gauge(const std::string& name, std::function<double()> sample);
+
+  struct Sample {
+    std::string name;
+    double value = 0;
+  };
+
+  /// Aggregated view of every counter and gauge, sorted by name (so dumps
+  /// are deterministic regardless of registration order).
+  [[nodiscard]] std::vector<Sample> snapshot() const;
+
+  /// Sum of all counters registered under `name` (0 if none).
+  [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
+
+  /// Human-readable per-layer breakdown table.
+  void dump(std::FILE* out, const char* title = "telemetry") const;
+
+ private:
+  struct NamedCounter {
+    std::string name;
+    std::unique_ptr<Counter> counter;
+  };
+  struct NamedGauge {
+    std::string name;
+    std::function<double()> sample;
+  };
+
+  std::vector<NamedCounter> counters_;
+  std::vector<NamedGauge> gauges_;
+};
+
+}  // namespace ib12x::mvx

@@ -32,6 +32,16 @@ struct MsgHeader {
 
 inline constexpr std::size_t kHeaderBytes = sizeof(MsgHeader);
 
+/// Hard cap on HCAs per node the wire format supports (CTS carries one rkey
+/// per HCA domain).
+inline constexpr int kMaxHcas = 4;
+
+/// CTS payload appended after MsgHeader: rkeys for every HCA domain of the
+/// receiving node.
+struct CtsRkeys {
+  std::uint32_t rkey[kMaxHcas] = {0, 0, 0, 0};
+};
+
 inline void write_header(std::byte* dst, const MsgHeader& h) {
   std::memcpy(dst, &h, sizeof(h));
 }

@@ -3,6 +3,9 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "ib/hca.hpp"
+#include "sim/time.hpp"
+
 namespace ib12x::mvx {
 
 World::World(ClusterSpec spec, Config cfg) : spec_(spec), cfg_(cfg) {
@@ -22,7 +25,21 @@ World::World(ClusterSpec spec, Config cfg) : spec_(spec), cfg_(cfg) {
   for (int r = 0; r < spec_.total_ranks(); ++r) {
     const int node = r / spec_.procs_per_node;
     eps_.push_back(std::make_unique<Endpoint>(sim_, r, node,
-                                              node_hcas_[static_cast<std::size_t>(node)], cfg_));
+                                              node_hcas_[static_cast<std::size_t>(node)], cfg_,
+                                              tel_));
+  }
+
+  // Hardware-layer gauges, sampled when a telemetry snapshot is taken.
+  for (auto& node : node_hcas_) {
+    for (ib::Hca* hca : node) {
+      tel_.gauge("ib.send_engine_busy_us",
+                 [hca] { return sim::to_s(hca->total_send_engine_busy()) * 1e6; });
+      tel_.gauge("ib.qp_send_depth",
+                 [hca] { return static_cast<double>(hca->total_send_queue_depth()); });
+      tel_.gauge("ib.wqes_serviced",
+                 [hca] { return static_cast<double>(hca->total_wqes_serviced()); });
+      tel_.gauge("ib.bytes_tx", [hca] { return static_cast<double>(hca->total_bytes_tx()); });
+    }
   }
 
   for (int i = 0; i < spec_.total_ranks(); ++i) {

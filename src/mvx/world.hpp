@@ -11,6 +11,7 @@
 #include "mvx/comm.hpp"
 #include "mvx/config.hpp"
 #include "mvx/endpoint.hpp"
+#include "mvx/telemetry.hpp"
 #include "sim/process.hpp"
 #include "sim/simulator.hpp"
 
@@ -35,6 +36,11 @@ class World {
   [[nodiscard]] ib::Fabric& fabric() { return *fabric_; }
   [[nodiscard]] Endpoint& endpoint(int rank) { return *eps_.at(static_cast<std::size_t>(rank)); }
 
+  /// Process-wide telemetry: counters from every rank's channels, matcher,
+  /// and rendezvous engine, plus gauges sampled from the ib HCA model.
+  [[nodiscard]] TelemetryRegistry& telemetry() { return tel_; }
+  [[nodiscard]] const TelemetryRegistry& telemetry() const { return tel_; }
+
   /// Virtual time when the last rank finished the most recent run().
   [[nodiscard]] sim::Time end_time() const { return end_time_; }
 
@@ -48,6 +54,7 @@ class World {
   sim::Simulator sim_;
   std::unique_ptr<ib::Fabric> fabric_;
   std::vector<std::vector<ib::Hca*>> node_hcas_;
+  TelemetryRegistry tel_;  ///< declared before eps_: endpoints hold handles into it
   std::vector<std::unique_ptr<Endpoint>> eps_;
   sim::Time end_time_ = 0;
   int next_ctx_ = 2;  // ctx 0/1 belong to the world communicator

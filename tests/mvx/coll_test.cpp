@@ -215,7 +215,8 @@ TEST(Coll, CollectivesMarkTrafficCollective) {
     std::vector<std::byte> buf(2u << 20);
     c.bcast(buf.data(), buf.size(), BYTE, 0);
   });
-  EXPECT_GT(w.endpoint(0).stats().stripes_posted, w.endpoint(0).stats().rndv_sent);
+  EXPECT_GT(w.telemetry().counter_value("rndv.stripes_posted"),
+            w.telemetry().counter_value("rndv.rts_sent"));
 }
 
 TEST(Coll, ReduceNonCommutativeSafety) {

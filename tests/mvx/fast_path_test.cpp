@@ -40,7 +40,7 @@ TEST(FastPath, SmallMessagesIntact) {
       }
     }
   });
-  EXPECT_GT(w.endpoint(0).stats().fast_path_sent, 0u);
+  EXPECT_GT(w.telemetry().counter_value("fastpath.sent"), 0u);
 }
 
 TEST(FastPath, OrderingAcrossChannels) {
@@ -87,9 +87,9 @@ TEST(FastPath, RingExhaustionFallsBackToEager) {
       }
     }
   });
-  const auto& st = w.endpoint(0).stats();
-  EXPECT_GT(st.fast_path_sent, 0u);
-  EXPECT_GT(st.eager_sent, 0u);  // overflow went through the send channel
+  EXPECT_GT(w.telemetry().counter_value("fastpath.sent"), 0u);
+  // Overflow went through the net channel's eager path.
+  EXPECT_GT(w.telemetry().counter_value("net.eager_sent"), 0u);
 }
 
 TEST(FastPath, LowersSmallMessageLatency) {

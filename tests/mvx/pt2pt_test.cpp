@@ -278,7 +278,7 @@ TEST(Pt2Pt, ManyEagerSendsRespectCreditBackpressure) {
       EXPECT_EQ(got, payload(1024, 0));
     }
   });
-  EXPECT_GT(w.endpoint(0).stats().credit_stalls, 0u);
+  EXPECT_GT(w.telemetry().counter_value("net.credit_stalls"), 0u);
 }
 
 class PolicyIntegrity : public ::testing::TestWithParam<Policy> {};

@@ -1,0 +1,103 @@
+// Unit tests for the TelemetryRegistry: same-name handle aggregation (one
+// handle per channel instance) and deterministic, sorted dumps.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "mvx/telemetry.hpp"
+
+namespace ib12x::mvx {
+namespace {
+
+TEST(Telemetry, SameNameCountersAggregate) {
+  TelemetryRegistry tel;
+  // Two channel instances (e.g. one per rank) register the same metric.
+  Counter& a = tel.counter("net.eager_sent");
+  Counter& b = tel.counter("net.eager_sent");
+  a.inc();
+  a.add(4);
+  b.inc(2);
+  EXPECT_EQ(a.value(), 5u);
+  EXPECT_EQ(b.value(), 2u);
+  EXPECT_EQ(tel.counter_value("net.eager_sent"), 7u);
+  EXPECT_EQ(tel.counter_value("no.such.metric"), 0u);
+}
+
+TEST(Telemetry, TrackMaxKeepsHighWaterMark) {
+  TelemetryRegistry tel;
+  Counter& c = tel.counter("matcher.reorder_depth_peak");
+  c.track_max(3);
+  c.track_max(1);
+  EXPECT_EQ(c.value(), 3u);
+  c.track_max(9);
+  EXPECT_EQ(c.value(), 9u);
+}
+
+TEST(Telemetry, GaugesSampleLazilyAndAggregate) {
+  TelemetryRegistry tel;
+  double busy = 0;
+  tel.gauge("ib.engine_busy", [&busy] { return busy; });
+  tel.gauge("ib.engine_busy", [] { return 10.0; });
+
+  busy = 32.0;  // changed after registration: snapshot must see the new value
+  auto samples = tel.snapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].name, "ib.engine_busy");
+  EXPECT_DOUBLE_EQ(samples[0].value, 42.0);
+}
+
+TEST(Telemetry, SnapshotIsSortedRegardlessOfRegistrationOrder) {
+  TelemetryRegistry fwd;
+  fwd.counter("a.first").inc(1);
+  fwd.counter("m.middle").inc(2);
+  fwd.counter("z.last").inc(3);
+
+  TelemetryRegistry rev;
+  rev.counter("z.last").inc(3);
+  rev.counter("m.middle").inc(2);
+  rev.counter("a.first").inc(1);
+
+  auto s1 = fwd.snapshot();
+  auto s2 = rev.snapshot();
+  ASSERT_EQ(s1.size(), 3u);
+  ASSERT_EQ(s2.size(), s1.size());
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1[i].name, s2[i].name);
+    EXPECT_DOUBLE_EQ(s1[i].value, s2[i].value);
+  }
+  EXPECT_EQ(s1[0].name, "a.first");
+  EXPECT_EQ(s1[2].name, "z.last");
+}
+
+TEST(Telemetry, DumpIsDeterministic) {
+  auto render = [](bool reversed) {
+    TelemetryRegistry tel;
+    if (reversed) {
+      tel.counter("rndv.rts_sent").inc(2);
+      tel.counter("net.eager_sent").inc(5);
+    } else {
+      tel.counter("net.eager_sent").inc(5);
+      tel.counter("rndv.rts_sent").inc(2);
+    }
+    char* buf = nullptr;
+    std::size_t len = 0;
+    std::FILE* f = open_memstream(&buf, &len);
+    tel.dump(f, "test");
+    std::fclose(f);
+    std::string out(buf, len);
+    std::free(buf);
+    return out;
+  };
+
+  const std::string out = render(false);
+  EXPECT_EQ(out, render(true));
+  EXPECT_NE(out.find("net.eager_sent"), std::string::npos);
+  EXPECT_NE(out.find("rndv.rts_sent"), std::string::npos);
+  // Sorted: the net.* line precedes the rndv.* line.
+  EXPECT_LT(out.find("net.eager_sent"), out.find("rndv.rts_sent"));
+}
+
+}  // namespace
+}  // namespace ib12x::mvx
