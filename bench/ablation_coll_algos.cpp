@@ -39,7 +39,8 @@ double allreduce_us(mvx::Config::AllreduceAlgo algo, std::size_t doubles) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ib12x::bench::init(argc, argv);
   std::printf("Ablation — collective algorithm crossovers (2x4, EPC-4QP)\n");
 
   harness::Table a2a("Alltoall: pairwise vs Bruck (us/call)", "bytes/dest");

@@ -11,7 +11,8 @@
 using namespace ib12x;
 using namespace ib12x::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ib12x::bench::init(argc, argv);
   std::printf("Ablation — DMA engines per port (EPC, 4 QPs/port)\n");
   harness::Table t("engines/port sweep", "engines");
   t.add_column("uni-BW@1M MB/s");

@@ -10,7 +10,8 @@
 using namespace ib12x;
 using namespace ib12x::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ib12x::bench::init(argc, argv);
   std::printf("Ablation — RDMA eager fast path (EPC, 4 QPs/port)\n");
   mvx::Config off = mvx::Config::enhanced(4, mvx::Policy::EPC);
   mvx::Config on = off;

@@ -10,7 +10,8 @@
 using namespace ib12x;
 using namespace ib12x::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ib12x::bench::init(argc, argv);
   std::printf("Ablation — QPs/port scaling, EPC policy, 1 port\n");
   const int qp_counts[] = {1, 2, 3, 4, 6, 8};
 

@@ -12,7 +12,8 @@
 using namespace ib12x;
 using namespace ib12x::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ib12x::bench::init(argc, argv);
   std::printf("Ablation — rail topology (EPC): QPs vs ports vs HCAs\n");
   struct Topo {
     const char* label;

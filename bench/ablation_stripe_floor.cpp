@@ -10,7 +10,8 @@
 using namespace ib12x;
 using namespace ib12x::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ib12x::bench::init(argc, argv);
   std::printf("Ablation — minimum stripe size (even striping, 8 QPs/port)\n");
   harness::Table t("min-stripe sweep (striping-8QP, blocking latency us)", "min-stripe");
   t.add_column("lat@32K us");

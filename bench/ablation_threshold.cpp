@@ -11,7 +11,8 @@
 using namespace ib12x;
 using namespace ib12x::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ib12x::bench::init(argc, argv);
   std::printf("Ablation — rendezvous/striping threshold sweep (EPC, 4 QPs/port)\n");
   const std::int64_t thresholds[] = {4 * 1024, 8 * 1024, 16 * 1024, 32 * 1024, 64 * 1024};
 

@@ -10,7 +10,8 @@
 using namespace ib12x;
 using namespace ib12x::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ib12x::bench::init(argc, argv);
   std::printf("Fig 3 — small-message ping-pong latency (us), 2 nodes x 1 process\n");
   const std::vector<Column> cols = {original(), epc(1), epc(2), epc(4)};
   const auto sizes = harness::pow2_sizes(1, 8 * 1024);

@@ -12,7 +12,8 @@
 using namespace ib12x;
 using namespace ib12x::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ib12x::bench::init(argc, argv);
   std::printf("Fig 6 — large-message uni-directional bandwidth (MB/s), window 64\n");
   const std::vector<Column> cols = {
       original(),

@@ -11,7 +11,8 @@
 using namespace ib12x;
 using namespace ib12x::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ib12x::bench::init(argc, argv);
   std::printf("Fig 7 — large-message bi-directional bandwidth (MB/s, both directions)\n");
   const std::vector<Column> cols = {
       original(),

@@ -12,7 +12,8 @@
 using namespace ib12x;
 using namespace ib12x::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ib12x::bench::init(argc, argv);
   std::printf("Fig 8 — MPI_Alltoall latency (us), 2 nodes x 4 processes\n");
   const std::vector<Column> cols = {
       original(),

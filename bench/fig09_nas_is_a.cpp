@@ -4,7 +4,8 @@
 #include "nas_common.hpp"
 #include "nas/is.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ib12x::bench::init(argc, argv);
   using namespace ib12x;
   bench::run_nas_figure("Fig 9 — IS class A", nas::NasClass::A,
                         [](mvx::Communicator& c, nas::NasClass cls) {

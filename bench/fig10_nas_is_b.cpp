@@ -3,7 +3,8 @@
 #include "nas_common.hpp"
 #include "nas/is.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ib12x::bench::init(argc, argv);
   using namespace ib12x;
   bench::run_nas_figure("Fig 10 — IS class B", nas::NasClass::B,
                         [](mvx::Communicator& c, nas::NasClass cls) {

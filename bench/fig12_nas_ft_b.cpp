@@ -3,7 +3,8 @@
 #include "nas_common.hpp"
 #include "nas/ft.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ib12x::bench::init(argc, argv);
   using namespace ib12x;
   bench::run_nas_figure("Fig 12 — FT class B", nas::NasClass::B,
                         [](mvx::Communicator& c, nas::NasClass cls) {

@@ -33,7 +33,8 @@ double nas_gain(nas::NasClass cls, bool is_kernel, mvx::ClusterSpec spec) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ib12x::bench::init(argc, argv);
   std::printf("Headline summary — paper claims vs this reproduction\n");
   harness::BenchParams bp = bench_params();
 

@@ -12,7 +12,8 @@
 using namespace ib12x;
 using namespace ib12x::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ib12x::bench::init(argc, argv);
   std::printf("NAS CG (class A) — no-degradation check, orig vs 4QP EPC\n");
   harness::Table t("CG class A execution time (ms)", "procs");
   t.add_column("orig-1QP");

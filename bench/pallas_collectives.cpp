@@ -38,7 +38,8 @@ double coll_us(mvx::World& w, const CollFn& fn, std::size_t bytes, int iters, in
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ib12x::bench::init(argc, argv);
   std::printf("Pallas-style collectives, 2 nodes x 2 processes, orig vs 4QP EPC\n");
   const std::vector<std::pair<const char*, CollFn>> suite = {
       {"Bcast",

@@ -27,6 +27,12 @@ class Table {
   /// Machine-readable CSV (same content).
   void print_csv(std::FILE* out, int precision = 4) const;
 
+  [[nodiscard]] const std::string& title() const { return title_; }
+  [[nodiscard]] const std::string& row_header() const { return row_header_; }
+  [[nodiscard]] std::size_t column_count() const { return columns_.size(); }
+  [[nodiscard]] const std::string& column_label(std::size_t col) const {
+    return columns_.at(col);
+  }
   [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
   [[nodiscard]] double value(std::size_t row, std::size_t col) const {
     return rows_.at(row).values.at(col);

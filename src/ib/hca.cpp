@@ -63,6 +63,30 @@ RecvWr QueuePair::take_recv_wqe() {
   return wr;
 }
 
+// ----------------------------------------------------------------- Transfer
+
+/// Per-message pipeline state.  Allocated once when an engine picks up a
+/// WQE and handed stage to stage through the event queue; the stage events
+/// capture only {Port*, unique_ptr<Transfer>} so they fit the kernel's
+/// 48-byte in-place event storage (SendWr alone is larger than that).
+struct Transfer {
+  SendWr wr;
+  QueuePair* qp = nullptr;   ///< requester QP
+  QueuePair* dst = nullptr;  ///< responder QP
+  Port* dport = nullptr;
+  Hca* dhca = nullptr;
+  sim::BandwidthServer* engine = nullptr;   ///< send DMA engine (source port)
+  sim::BandwidthServer* rengine = nullptr;  ///< recv DMA engine (dest port)
+  int eng = 0;
+  QpNum src_qp_num = 0;
+  std::int64_t bytes = 0;
+  std::int64_t wire_bytes = 0;
+  sim::Time t_bus_seg = 0, t_eng_seg = 0, t_tx_seg = 0, t_dl_seg = 0, t_re_seg = 0,
+            t_dbus_seg = 0;
+  // Upstream last-byte bounds, filled in as the stages run.
+  sim::Time bus_last = 0, eng_last = 0, tx_last = 0, dl_last = 0, re_last = 0;
+};
+
 // --------------------------------------------------------------------- Port
 
 Port::Port(Hca& hca, int index) : hca_(&hca), index_(index) {
@@ -156,6 +180,24 @@ void Port::service(QueuePair* qp, int eng) {
   qp->bytes_sent_ += wr.length;
   const QpNum src_qp_num = qp->num_;
 
+  auto st = std::make_unique<Transfer>();
+  st->qp = qp;
+  st->dst = dst;
+  st->dport = &dport;
+  st->dhca = &dhca;
+  st->engine = &engine;
+  st->rengine = &rengine;
+  st->eng = eng;
+  st->src_qp_num = src_qp_num;
+  st->bytes = bytes;
+  st->wire_bytes = wire_bytes;
+  st->t_bus_seg = t_bus_seg;
+  st->t_eng_seg = t_eng_seg;
+  st->t_tx_seg = t_tx_seg;
+  st->t_dl_seg = t_dl_seg;
+  st->t_re_seg = t_re_seg;
+  st->t_dbus_seg = t_dbus_seg;
+
   // Single-packet messages (all MPI control traffic — RTS/CTS/FIN — and tiny
   // eager payloads) take a latency-only fast path through the shared pipes.
   // Bus and link arbitration on the real hardware is packet-granular, so a
@@ -171,95 +213,122 @@ void Port::service(QueuePair* qp, int eng) {
     const sim::Time delivered = eng_done + t_bus_seg + t_tx_seg + F.wire_latency +
                                 F.switch_latency + t_dl_seg + F.wire_latency + t_re_seg +
                                 t_dbus_seg;
-    sim.at(delivered, [&dport, dst, wr, src_qp_num] { dport.deliver(dst, wr, src_qp_num); });
-
-    if (wr.signaled) {
-      const sim::Time cqe_time =
-          delivered + P.ack_gen + F.wire_latency + F.switch_latency + F.wire_latency +
-          P.cqe_delay + sim::transfer_time(P.cqe_bus_bytes, hca_->bus().dir_rate());
-      sim.at(cqe_time, [qp, wr, cqe_time] {
-        Wc wc;
-        wc.wr_id = wr.wr_id;
-        wc.opcode =
-            wr.opcode == Opcode::Send ? WcOpcode::SendComplete : WcOpcode::RdmaWriteComplete;
-        wc.byte_len = wr.length;
-        wc.qp_num = qp->num();
-        wc.timestamp = cqe_time;
-        qp->scq_->push(wc);
-      });
-    }
+    const sim::Time cqe_time =
+        wr.signaled
+            ? delivered + P.ack_gen + F.wire_latency + F.switch_latency + F.wire_latency +
+                  P.cqe_delay + sim::transfer_time(P.cqe_bus_bytes, hca_->bus().dir_rate())
+            : 0;
+    st->wr = std::move(wr);
+    finish_transfer(std::move(st), delivered, cqe_time);
     return;
   }
 
   // Stage 1 (now): WQE fetch on the engine, then host → HCA over GX+.
   auto fetch = engine.reserve_time(now, now, P.wqe_fetch);
   auto s_bus = hca_->bus().reserve(BusDir::ToHca, now, fetch.finish, bytes);
-  const sim::Time bus_last = s_bus.finish;
+  st->bus_last = s_bus.finish;
 
   IB12X_TRACE(now, "qp%u wr%llu len=%u eng%d: bus[%.3f,%.3f]us", qp->num_,
               static_cast<unsigned long long>(wr.wr_id), wr.length, eng,
               sim::to_us(s_bus.start), sim::to_us(s_bus.finish));
 
-  // Stage 2 (first segment on-chip): send DMA engine.
-  sim.at(s_bus.start + t_bus_seg, [=, this, &sim, &engine, &rengine, &dport, &dhca] {
-    auto s_eng = engine.reserve_bytes(sim.now(), sim.now(), bytes);
-    const sim::Time eng_last = std::max(s_eng.finish, bus_last + t_eng_seg);
-    // The engine frees once the last segment has left it (including any
-    // stretch from bus starvation).
-    sim.at(eng_last, [this, eng, qp] { engine_done(eng, qp); });
+  st->wr = std::move(wr);
+  const sim::Time t_stage2 = s_bus.start + t_bus_seg;
+  sim.at(t_stage2, [this, st = std::move(st)]() mutable { stage_engine(std::move(st)); });
+}
 
-    // Stage 3: port uplink to the switch (wire framing overhead applies).
-    sim.at(s_eng.start + t_eng_seg, [=, this, &sim, &rengine, &dport, &dhca] {
-      auto s_tx = link_tx_.reserve_bytes(sim.now(), sim.now(), wire_bytes);
-      const sim::Time tx_last = std::max(s_tx.finish, eng_last + t_tx_seg);
+// Stage 2 (first segment on-chip): send DMA engine.
+void Port::stage_engine(std::unique_ptr<Transfer> st) {
+  sim::Simulator& sim = hca_->simulator();
+  auto s_eng = st->engine->reserve_bytes(sim.now(), sim.now(), st->bytes);
+  st->eng_last = std::max(s_eng.finish, st->bus_last + st->t_eng_seg);
+  // The engine frees once the last segment has left it (including any
+  // stretch from bus starvation).
+  sim.at(st->eng_last, [this, eng = st->eng, qp = st->qp] { engine_done(eng, qp); });
 
-      // Stage 4: switch egress / downlink towards the destination port.
-      sim.at(s_tx.start + t_tx_seg + F.wire_latency + F.switch_latency,
-             [=, this, &sim, &rengine, &dport, &dhca] {
-        auto s_dl = dport.link_rx_.reserve_bytes(sim.now(), sim.now(), wire_bytes);
-        const sim::Time dl_last =
-            std::max(s_dl.finish, tx_last + F.wire_latency + F.switch_latency + t_dl_seg);
+  const sim::Time t_next = s_eng.start + st->t_eng_seg;
+  sim.at(t_next, [this, st = std::move(st)]() mutable { stage_uplink(std::move(st)); });
+}
 
-        // Stage 5: receive DMA engine at the destination.
-        sim.at(s_dl.start + t_dl_seg + F.wire_latency, [=, this, &sim, &rengine, &dport, &dhca] {
-          auto s_re = rengine.reserve_bytes(sim.now(), sim.now(), bytes);
-          const sim::Time re_last = std::max(s_re.finish, dl_last + F.wire_latency + t_re_seg);
+// Stage 3: port uplink to the switch (wire framing overhead applies).
+void Port::stage_uplink(std::unique_ptr<Transfer> st) {
+  sim::Simulator& sim = hca_->simulator();
+  const FabricParams& F = hca_->fabric().fabric_params();
+  auto s_tx = link_tx_.reserve_bytes(sim.now(), sim.now(), st->wire_bytes);
+  st->tx_last = std::max(s_tx.finish, st->eng_last + st->t_tx_seg);
 
-          // Stage 6: HCA → host over the destination GX+ bus.
-          sim.at(s_re.start + t_re_seg, [=, this, &sim, &dport, &dhca] {
-            auto s_dbus = dhca.bus().reserve(BusDir::ToHost, sim.now(), sim.now(), bytes);
-            const sim::Time delivered = std::max(s_dbus.finish, re_last + t_dbus_seg);
+  const sim::Time t_next = s_tx.start + st->t_tx_seg + F.wire_latency + F.switch_latency;
+  sim.at(t_next, [this, st = std::move(st)]() mutable { stage_downlink(std::move(st)); });
+}
 
-            // Data visible in responder host memory → deliver (copy + CQE).
-            sim.at(delivered, [&dport, dst, wr, src_qp_num] {
-              dport.deliver(dst, wr, src_qp_num);
-            });
+// Stage 4: switch egress / downlink towards the destination port.
+void Port::stage_downlink(std::unique_ptr<Transfer> st) {
+  sim::Simulator& sim = hca_->simulator();
+  const FabricParams& F = hca_->fabric().fabric_params();
+  auto s_dl = st->dport->link_rx_.reserve_bytes(sim.now(), sim.now(), st->wire_bytes);
+  st->dl_last =
+      std::max(s_dl.finish, st->tx_last + F.wire_latency + F.switch_latency + st->t_dl_seg);
 
-            // RC acknowledgment: the responder HCA acks once the last packet
-            // is placed (a requester CQE therefore implies remote data is
-            // visible — the invariant rendezvous FIN relies on).  The ACK is
-            // one packet and rides the fast path (packet-granular link
-            // arbitration), like the small-message branch above.
-            if (!wr.signaled) return;
-            const sim::Time cqe_time =
-                delivered + P.ack_gen +
-                sim::transfer_time(P.ack_wire_bytes, P.link_rate_gbps) + F.wire_latency +
-                F.switch_latency + F.wire_latency + P.cqe_delay +
-                sim::transfer_time(P.cqe_bus_bytes, hca_->bus().dir_rate());
-            sim.at(cqe_time, [qp, wr, cqe_time] {
-              Wc wc;
-              wc.wr_id = wr.wr_id;
-              wc.opcode = wr.opcode == Opcode::Send ? WcOpcode::SendComplete
-                                                    : WcOpcode::RdmaWriteComplete;
-              wc.byte_len = wr.length;
-              wc.qp_num = qp->num();
-              wc.timestamp = cqe_time;
-              qp->scq_->push(wc);
-            });
-          });
-        });
-      });
+  const sim::Time t_next = s_dl.start + st->t_dl_seg + F.wire_latency;
+  sim.at(t_next, [this, st = std::move(st)]() mutable { stage_recv_engine(std::move(st)); });
+}
+
+// Stage 5: receive DMA engine at the destination.
+void Port::stage_recv_engine(std::unique_ptr<Transfer> st) {
+  sim::Simulator& sim = hca_->simulator();
+  const FabricParams& F = hca_->fabric().fabric_params();
+  auto s_re = st->rengine->reserve_bytes(sim.now(), sim.now(), st->bytes);
+  st->re_last = std::max(s_re.finish, st->dl_last + F.wire_latency + st->t_re_seg);
+
+  const sim::Time t_next = s_re.start + st->t_re_seg;
+  sim.at(t_next, [this, st = std::move(st)]() mutable { stage_dest_bus(std::move(st)); });
+}
+
+// Stage 6: HCA → host over the destination GX+ bus.
+void Port::stage_dest_bus(std::unique_ptr<Transfer> st) {
+  sim::Simulator& sim = hca_->simulator();
+  const HcaParams& P = hca_->params();
+  const FabricParams& F = hca_->fabric().fabric_params();
+  auto s_dbus = st->dhca->bus().reserve(BusDir::ToHost, sim.now(), sim.now(), st->bytes);
+  const sim::Time delivered = std::max(s_dbus.finish, st->re_last + st->t_dbus_seg);
+
+  // RC acknowledgment: the responder HCA acks once the last packet is placed
+  // (a requester CQE therefore implies remote data is visible — the invariant
+  // rendezvous FIN relies on).  The ACK is one packet and rides the fast path
+  // (packet-granular link arbitration), like the small-message branch.
+  const sim::Time cqe_time =
+      st->wr.signaled
+          ? delivered + P.ack_gen + sim::transfer_time(P.ack_wire_bytes, P.link_rate_gbps) +
+                F.wire_latency + F.switch_latency + F.wire_latency + P.cqe_delay +
+                sim::transfer_time(P.cqe_bus_bytes, hca_->bus().dir_rate())
+          : 0;
+  finish_transfer(std::move(st), delivered, cqe_time);
+}
+
+void Port::finish_transfer(std::unique_ptr<Transfer> st, sim::Time delivered,
+                           sim::Time cqe_time) {
+  sim::Simulator& sim = hca_->simulator();
+  if (!st->wr.signaled) {
+    // Data visible in responder host memory → deliver (copy + CQE).
+    sim.at(delivered, [st = std::move(st)] {
+      st->dport->deliver(st->dst, st->wr, st->src_qp_num);
     });
+    return;
+  }
+  // The delivery event fires before the CQE event (strictly earlier time, or
+  // FIFO order at an equal instant since it is pushed first), so it may
+  // borrow the Transfer the CQE event owns.
+  Transfer* raw = st.get();
+  sim.at(delivered, [raw] { raw->dport->deliver(raw->dst, raw->wr, raw->src_qp_num); });
+  sim.at(cqe_time, [st = std::move(st), cqe_time] {
+    Wc wc;
+    wc.wr_id = st->wr.wr_id;
+    wc.opcode =
+        st->wr.opcode == Opcode::Send ? WcOpcode::SendComplete : WcOpcode::RdmaWriteComplete;
+    wc.byte_len = st->wr.length;
+    wc.qp_num = st->qp->num();
+    wc.timestamp = cqe_time;
+    st->qp->scq_->push(wc);
   });
 }
 

@@ -34,6 +34,7 @@ namespace ib12x::ib {
 class Hca;
 class Port;
 class Fabric;
+struct Transfer;  // per-message pipeline state (hca.cpp)
 
 /// Receive queue shared between QPs on one HCA (verbs SRQ).
 class SharedReceiveQueue {
@@ -127,6 +128,21 @@ class Port {
   /// Runs the pipeline model for qp's head WQE on engine `eng`.
   void service(QueuePair* qp, int eng);
   void engine_done(int eng, QueuePair* qp);
+
+  // Bulk-message pipeline stages.  One Transfer is allocated per serviced
+  // WQE and handed stage to stage through the event queue (each event
+  // captures just {this, unique_ptr} and fits the kernel's in-place event
+  // storage — the old per-stage std::function closures were 5-6 heap
+  // allocations per message).
+  void stage_engine(std::unique_ptr<Transfer> st);
+  void stage_uplink(std::unique_ptr<Transfer> st);
+  void stage_downlink(std::unique_ptr<Transfer> st);
+  void stage_recv_engine(std::unique_ptr<Transfer> st);
+  void stage_dest_bus(std::unique_ptr<Transfer> st);
+  /// Schedules delivery (and the requester CQE for signaled WRs) once the
+  /// delivered-time is known.  Shared by the small-message fast path and the
+  /// bulk pipeline tail.
+  void finish_transfer(std::unique_ptr<Transfer> st, sim::Time delivered, sim::Time cqe_time);
 
   /// Inbound delivery (runs on the destination port, from event context).
   void deliver(QueuePair* dst_qp, const SendWr& wr, QpNum src_qp_num);

@@ -50,10 +50,18 @@ void ShmChannel::send(int peer, CommKind kind, const void* buf, std::int64_t byt
   auto res = c.pipe.reserve_bytes(sim.now(), sim.now(),
                                   static_cast<std::int64_t>(kHeaderBytes) + bytes);
   const sim::Time deliver_at = res.finish + cfg.shm_latency;
-  ShmChannel* remote = c.remote;
-  const int me = host_.rank();
-  sim.at(deliver_at, [remote, me, hdr, payload = std::move(payload)]() mutable {
-    remote->deliver(me, hdr, std::move(payload));
+  // Header + payload exceed the kernel's in-place event storage; box them in
+  // one heap block and let the event own it.
+  struct Delivery {
+    ShmChannel* remote;
+    int src;
+    MsgHeader hdr;
+    std::vector<std::byte> payload;
+  };
+  auto d = std::make_unique<Delivery>(
+      Delivery{c.remote, host_.rank(), hdr, std::move(payload)});
+  sim.at(deliver_at, [d = std::move(d)]() mutable {
+    d->remote->deliver(d->src, d->hdr, std::move(d->payload));
   });
 
   sent_.inc();

@@ -42,6 +42,21 @@ World::World(ClusterSpec spec, Config cfg) : spec_(spec), cfg_(cfg) {
     }
   }
 
+  // Event-kernel self-telemetry.  Gauges derived from wall-clock time live
+  // under "sim.wall." so determinism checks can exclude them when comparing
+  // snapshots of two runs (virtual-time state must match bit for bit; host
+  // speed obviously need not).
+  tel_.gauge("sim.events", [this] { return static_cast<double>(sim_.events_processed()); });
+  tel_.gauge("sim.lane_events", [this] { return static_cast<double>(sim_.lane_events()); });
+  tel_.gauge("sim.heap_events", [this] { return static_cast<double>(sim_.heap_events()); });
+  tel_.gauge("sim.kernel_allocs", [this] { return static_cast<double>(sim_.kernel_allocs()); });
+  tel_.gauge("sim.allocs_per_event", [this] { return sim_.allocs_per_event(); });
+  tel_.gauge("sim.fiber_switches",
+             [this] { return static_cast<double>(sim_.fiber_switches()); });
+  tel_.gauge("sim.wall.run_seconds", [this] { return sim_.run_wall_seconds(); });
+  tel_.gauge("sim.wall.events_per_sec", [this] { return sim_.events_per_wall_sec(); });
+  tel_.gauge("sim.wall.switches_per_sec", [this] { return sim_.switches_per_wall_sec(); });
+
   for (int i = 0; i < spec_.total_ranks(); ++i) {
     for (int j = i + 1; j < spec_.total_ranks(); ++j) {
       if (eps_[static_cast<std::size_t>(i)]->node() == eps_[static_cast<std::size_t>(j)]->node()) {

@@ -16,24 +16,16 @@ void Waitable::notify_all() {
 }
 
 Process::Process(Simulator& sim, int id, std::string name, Body body)
-    : sim_(sim), id_(id), name_(std::move(name)), body_(std::move(body)) {
-  thread_ = std::thread([this] { thread_main(); });
-}
+    : sim_(sim), id_(id), name_(std::move(name)), body_(std::move(body)),
+      fiber_([this] { fiber_main(); }) {}
 
 Process::~Process() {
   if (state_ != State::Finished) {
-    // Tear down a stuck/blocked process: hand it the baton with the kill
-    // flag set; its next suspend point throws Killed and unwinds.
-    {
-      std::unique_lock lock(mu_);
-      kill_requested_ = true;
-      baton_ = Baton::Proc;
-    }
-    cv_.notify_all();
-    std::unique_lock lock(mu_);
-    cv_.wait(lock, [this] { return baton_ == Baton::Driver; });
+    // Tear down a stuck/blocked process: resume it with the kill flag set;
+    // its next suspend point throws Killed and unwinds the fiber stack.
+    kill_requested_ = true;
+    resume();
   }
-  thread_.join();
 }
 
 void Process::start(Time when) {
@@ -46,12 +38,7 @@ void Process::rethrow_if_failed() {
   if (error_) std::rethrow_exception(error_);
 }
 
-void Process::thread_main() {
-  // Park until the driver hands over the baton for the first activation.
-  {
-    std::unique_lock lock(mu_);
-    cv_.wait(lock, [this] { return baton_ == Baton::Proc; });
-  }
+void Process::fiber_main() {
   if (!kill_requested_) {
     try {
       body_(*this);
@@ -62,32 +49,17 @@ void Process::thread_main() {
     }
   }
   state_ = State::Finished;
-  {
-    std::unique_lock lock(mu_);
-    baton_ = Baton::Driver;
-  }
-  cv_.notify_all();
+  // Falling off the end returns control to the driver (Fiber::run_body).
 }
 
 void Process::resume() {
   state_ = State::Running;
-  {
-    std::unique_lock lock(mu_);
-    baton_ = Baton::Proc;
-  }
-  cv_.notify_all();
-  std::unique_lock lock(mu_);
-  cv_.wait(lock, [this] { return baton_ == Baton::Driver; });
+  sim_.note_fiber_switches(2);  // in and back out
+  fiber_.resume();
 }
 
 void Process::suspend_to_driver() {
-  {
-    std::unique_lock lock(mu_);
-    baton_ = Baton::Driver;
-  }
-  cv_.notify_all();
-  std::unique_lock lock(mu_);
-  cv_.wait(lock, [this] { return baton_ == Baton::Proc; });
+  fiber_.yield();
   if (kill_requested_) throw Killed{};
 }
 

@@ -1,10 +1,10 @@
 // Simulated processes (MPI ranks) on top of the event kernel.
 //
-// Each Process runs user code on a dedicated std::thread, but only one thread
-// is ever runnable at a time: a two-party baton (mutex + condvar per process)
-// is handed between the driver thread (which runs the event loop) and the
-// process thread.  The effect is a deterministic coroutine — threads are used
-// purely for their stacks, never for parallelism — so model state needs no
+// Each Process runs user code on a stackful fiber (sim/fiber.hpp); control is
+// handed between the driver (the event loop) and the process by plain
+// user-space context switches, so a suspend/resume round trip costs two
+// swapcontext calls and nothing else — no mutexes, no condvars, no kernel
+// entries.  Exactly one piece of code runs at a time, so model state needs no
 // locking and runs are bit-reproducible.
 //
 // Inside the process body, virtual time advances only through explicit calls:
@@ -13,15 +13,13 @@
 //   yield()      — let all events scheduled for the current instant run
 #pragma once
 
-#include <condition_variable>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "sim/fiber.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
 
@@ -91,29 +89,24 @@ class Process {
 
  private:
   enum class State { Created, Runnable, Running, Blocked, Finished };
-  enum class Baton { Driver, Proc };
 
   /// Thrown through the body's stack when the runtime tears down a process
   /// that never finished.
   struct Killed {};
 
-  void thread_main();
-  void resume();           // driver side: hand baton over, park until it returns
-  void suspend_to_driver();  // process side: hand baton back, park until resumed
+  void fiber_main();
+  void resume();             // driver side: switch into the fiber until it suspends
+  void suspend_to_driver();  // process side: switch back to the event loop
 
   Simulator& sim_;
   int id_;
   std::string name_;
   Body body_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  Baton baton_ = Baton::Driver;
   bool kill_requested_ = false;
-
   State state_ = State::Created;
   std::exception_ptr error_;
-  std::thread thread_;
+  Fiber fiber_;
 };
 
 /// Owns a set of processes and drives them to completion.

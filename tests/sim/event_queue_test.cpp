@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 namespace ib12x::sim {
@@ -66,6 +67,75 @@ TEST(EventQueue, NextTimeTracksEarliest) {
   Time t = 0;
   q.pop(t);
   EXPECT_EQ(q.next_time(), 50);
+}
+
+TEST(EventQueue, SameInstantPushesDuringDrainRunFifo) {
+  // Events scheduled for the instant currently being drained take the FIFO
+  // lane; events for that instant already sitting in the heap (pushed from
+  // an earlier instant, so with smaller sequence numbers) must still run
+  // first.  This is the ordering contract the CQE demux relies on.
+  EventQueue q;
+  std::vector<int> order;
+  q.push(10, [&] {
+    order.push_back(0);
+    q.push(10, [&] { order.push_back(2); });
+    q.push(10, [&] { order.push_back(3); });
+  });
+  q.push(10, [&] { order.push_back(1); });
+  Time t = 0;
+  while (!q.empty()) q.pop(t)();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(t, 10);
+  EXPECT_EQ(q.lane_pushed(), 2u);
+  EXPECT_EQ(q.heap_pushed(), 2u);
+}
+
+TEST(EventQueue, PopAtOrBeforeRespectsDeadline) {
+  EventQueue q;
+  Time t = 0;
+  Event fn;
+  q.push(10, [] {});
+  q.push(20, [] {});
+  ASSERT_TRUE(q.pop_at_or_before(15, t, fn));
+  EXPECT_EQ(t, 10);
+  EXPECT_FALSE(q.pop_at_or_before(15, t, fn));
+  // A same-instant event scheduled at the popped instant is still <= deadline.
+  q.push(10, [] {});
+  ASSERT_TRUE(q.pop_at_or_before(15, t, fn));
+  EXPECT_EQ(t, 10);
+  ASSERT_TRUE(q.pop_at_or_before(20, t, fn));
+  EXPECT_EQ(t, 20);
+  // Lane events postdating the deadline stay queued.
+  q.push(20, [] {});
+  EXPECT_FALSE(q.pop_at_or_before(19, t, fn));
+  ASSERT_TRUE(q.pop_at_or_before(20, t, fn));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, WarmQueueRunsAllocationFree) {
+  // Slab slots and lane ring storage recycle: after one warm-up round the
+  // same workload must not allocate again.
+  EventQueue q;
+  Time t = 0;
+  auto run_round = [&](Time base) {
+    for (int i = 0; i < 200; ++i) q.push(base + i % 3, [] {});
+    while (!q.empty()) q.pop(t)();
+  };
+  run_round(0);
+  const std::uint64_t warm = q.alloc_events();
+  run_round(1000);
+  run_round(2000);
+  EXPECT_EQ(q.alloc_events(), warm);
+}
+
+TEST(EventQueue, EventsOwnMoveOnlyState) {
+  EventQueue q;
+  auto p = std::make_unique<int>(7);
+  int got = 0;
+  q.push(1, [p = std::move(p), &got] { got = *p; });
+  Time t = 0;
+  q.pop(t)();
+  EXPECT_EQ(got, 7);
 }
 
 TEST(EventQueue, PushedCounterIsMonotone) {
