@@ -12,16 +12,16 @@ using namespace ib12x::bench;
 
 namespace {
 
-double a2a_us(mvx::Config::AlltoallAlgo algo, std::int64_t per_bytes) {
+double a2a_us(mvx::coll::AlltoallAlgo algo, std::int64_t per_bytes) {
   mvx::Config cfg = mvx::Config::enhanced(4, mvx::Policy::EPC);
-  cfg.alltoall_algo = algo;
+  cfg.coll.alltoall_algo = algo;
   harness::Runner r(mvx::ClusterSpec{2, 4}, cfg, bench_params());
   return r.alltoall_us(per_bytes);
 }
 
-double allreduce_us(mvx::Config::AllreduceAlgo algo, std::size_t doubles) {
+double allreduce_us(mvx::coll::AllreduceAlgo algo, std::size_t doubles) {
   mvx::Config cfg = mvx::Config::enhanced(4, mvx::Policy::EPC);
-  cfg.allreduce_algo = algo;
+  cfg.coll.allreduce_algo = algo;
   mvx::World w(mvx::ClusterSpec{2, 4}, cfg);
   double us = 0;
   w.run([&](mvx::Communicator& c) {
@@ -49,9 +49,9 @@ int main(int argc, char** argv) {
   a2a.add_column("auto");
   for (std::int64_t bytes : {64L, 512L, 4096L, 32768L, 262144L}) {
     a2a.add_row(harness::size_label(bytes),
-                {a2a_us(mvx::Config::AlltoallAlgo::Pairwise, bytes),
-                 a2a_us(mvx::Config::AlltoallAlgo::Bruck, bytes),
-                 a2a_us(mvx::Config::AlltoallAlgo::Auto, bytes)});
+                {a2a_us(mvx::coll::AlltoallAlgo::Pairwise, bytes),
+                 a2a_us(mvx::coll::AlltoallAlgo::Bruck, bytes),
+                 a2a_us(mvx::coll::AlltoallAlgo::Auto, bytes)});
   }
   emit(a2a);
 
@@ -61,9 +61,9 @@ int main(int argc, char** argv) {
   ar.add_column("auto");
   for (std::size_t n : {8ul, 256ul, 8192ul, 262144ul}) {
     ar.add_row(std::to_string(n),
-               {allreduce_us(mvx::Config::AllreduceAlgo::RecursiveDoubling, n),
-                allreduce_us(mvx::Config::AllreduceAlgo::Rabenseifner, n),
-                allreduce_us(mvx::Config::AllreduceAlgo::Auto, n)});
+               {allreduce_us(mvx::coll::AllreduceAlgo::RecursiveDoubling, n),
+                allreduce_us(mvx::coll::AllreduceAlgo::Rabenseifner, n),
+                allreduce_us(mvx::coll::AllreduceAlgo::Auto, n)});
   }
   emit(ar);
 

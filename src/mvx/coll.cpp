@@ -1,322 +1,215 @@
-// Collective algorithms, built from point-to-point exactly as the paper
-// describes (§3.2.2): each algorithm step issues non-blocking sendrecv pairs
-// and completes them before the next step.  All internal transfers carry the
-// Collective communication-marker kind, which is what lets EPC treat them
-// differently from user-level non-blocking traffic.
-#include <algorithm>
+// Collective entry points.
+//
+// Every collective — blocking or non-blocking — is compiled into a
+// CollSchedule by the registered builder that coll::select picks
+// (mvx/coll/select.cpp) and handed to the endpoint's CollEngine.  The
+// blocking variants are build-then-wait wrappers; the i-variants return the
+// engine's Request, which completes when the whole schedule has executed.
+// All internal transfers still carry the Collective communication-marker
+// kind — the distinction the EPC policy keys on.
+//
+// The wrappers keep the exact call-time semantics of the old inline
+// algorithms: argument validation, p == 1 fast paths, and the synchronous
+// seed copies (recvbuf <- sendbuf for allreduce/scan, the self block for
+// allgather/alltoall/alltoallv/allgatherv) all happen before the schedule
+// is built.
 #include <cstring>
 #include <stdexcept>
 #include <vector>
 
+#include "mvx/coll/builders.hpp"
+#include "mvx/coll/engine.hpp"
 #include "mvx/comm.hpp"
 
 namespace ib12x::mvx {
 
 namespace {
 
-bool is_pow2(int x) { return x > 0 && (x & (x - 1)) == 0; }
+Request done_request() {
+  Request r = make_request();
+  r->done = true;
+  return r;
+}
 
 }  // namespace
 
-int Communicator::coll_tag() {
-  // Collectives execute in the same order on every member, so a per-comm
-  // sequence number gives matching tags without cross-talk between
-  // overlapping collectives on different communicators (contexts differ).
-  return 0x40000000 | (coll_seq_++ & 0x00ffffff);
+coll::BuildCtx Communicator::base_ctx() const {
+  coll::BuildCtx c;
+  c.p = size();
+  c.me = my_index_;
+  c.group = &group_;
+  c.ctx = ctx_base_ + 1;
+  c.cfg = &ep_->config();
+  c.nrails = ep_->config().rails();
+  return c;
 }
 
-void Communicator::coll_sendrecv(const void* sbuf, std::size_t sbytes, int dst, void* rbuf,
-                                 std::size_t rbytes, int src, int tag) {
-  const int ctx = ctx_base_ + 1;
-  Request rr = irecv_ctx(rbuf, rbytes, src, tag, ctx);
-  Request sr = isend_kind(CommKind::Collective, sbuf, sbytes, dst, tag, ctx);
-  ep_->wait(sr);
-  ep_->wait(rr);
-}
-
-void Communicator::barrier() {
-  const int p = size();
-  if (p == 1) return;
-  const int tag = coll_tag();
-  // Dissemination barrier: ceil(log2 p) rounds.
-  for (int k = 1; k < p; k <<= 1) {
-    const int to = (my_index_ + k) % p;
-    const int from = (my_index_ - k + p) % p;
-    std::byte dummy{};
-    coll_sendrecv(&dummy, 0, to, &dummy, 0, from, tag + 0);
+Request Communicator::launch_coll(coll::CollKind kind, coll::BuildCtx& c,
+                                  std::int64_t total_bytes, std::size_t count) {
+  // Wrap-boundary safety: the slot this collective will use is a pure
+  // function of the per-comm sequence number, so every rank computes the
+  // same tags without agreement traffic.  If the slot is still held by a
+  // schedule launched 2^16 collectives ago, wait it out locally — tag
+  // values never depend on release order, so ranks cannot disagree.
+  if (tag_ring_->next_busy()) {
+    ep_->process().wait_until(ep_->progress(), [&] { return !tag_ring_->next_busy(); });
   }
+  c.tags = tag_ring_->reserve();
+
+  const coll::AlgoEntry& algo =
+      coll::select(kind, ep_->config().coll, c.p, total_bytes, count, c.nrails);
+  coll::CollSchedule s = algo.build(c);
+  std::shared_ptr<coll::TagRing> ring = tag_ring_;
+  const int slot = c.tags.slot;
+  s.on_complete = [ring, slot] { ring->release(slot); };
+  return ep_->coll_engine().launch(std::move(s));
 }
 
-void Communicator::bcast(void* buf, std::size_t count, Datatype dt, int root) {
-  const int p = size();
-  if (p == 1) return;
+// ---- non-blocking collectives -------------------------------------------
+
+Request Communicator::ibarrier() {
+  if (size() == 1) return done_request();
+  coll::BuildCtx c = base_ctx();
+  return launch_coll(coll::CollKind::Barrier, c, 0, 0);
+}
+
+Request Communicator::ibcast(void* buf, std::size_t count, Datatype dt, int root) {
+  if (size() == 1) return done_request();
+  coll::BuildCtx c = base_ctx();
+  c.recvbuf = buf;
+  c.count = count;
+  c.dt = dt;
+  c.root = root;
+  return launch_coll(coll::CollKind::Bcast, c, static_cast<std::int64_t>(count * dt.size), count);
+}
+
+Request Communicator::ireduce(const void* sendbuf, void* recvbuf, std::size_t count, Datatype dt,
+                              Op op, int root) {
   const std::size_t bytes = count * dt.size;
-  const int tag = coll_tag();
-  const int ctx = ctx_base_ + 1;
-  const int vrank = (my_index_ - root + p) % p;  // root becomes 0
-
-  // Binomial tree: receive from parent, forward to children.
-  if (vrank != 0) {
-    int parent = 0;
-    for (int mask = 1; mask < p; mask <<= 1) {
-      if (vrank & mask) {
-        parent = vrank ^ mask;
-        break;
-      }
-    }
-    Request r = irecv_ctx(buf, bytes, (parent + root) % p, tag, ctx);
-    ep_->wait(r);
-  }
-  int low = 1;
-  while (low < p && (vrank & low) == 0) low <<= 1;  // first set bit bounds children
-  for (int mask = low >> 1; mask >= 1; mask >>= 1) {
-    const int child = vrank | mask;
-    if (child < p && child != vrank) {
-      Request s = isend_kind(CommKind::Collective, buf, bytes, (child + root) % p, tag, ctx);
-      ep_->wait(s);
-    }
-  }
-}
-
-void Communicator::reduce(const void* sendbuf, void* recvbuf, std::size_t count, Datatype dt,
-                          Op op, int root) {
-  const int p = size();
-  const std::size_t bytes = count * dt.size;
-  if (p == 1) {
+  if (size() == 1) {
     if (recvbuf != sendbuf) std::memcpy(recvbuf, sendbuf, bytes);
-    return;
+    return done_request();
   }
-  const int tag = coll_tag();
-  const int ctx = ctx_base_ + 1;
-  const int vrank = (my_index_ - root + p) % p;
-
-  std::vector<std::byte> acc(bytes), tmp(bytes);
-  std::memcpy(acc.data(), sendbuf, bytes);
-
-  // Binomial reduction towards vrank 0.
-  for (int mask = 1; mask < p; mask <<= 1) {
-    if (vrank & mask) {
-      const int parent = ((vrank ^ mask) + root) % p;
-      Request s = isend_kind(CommKind::Collective, acc.data(), bytes, parent, tag, ctx);
-      ep_->wait(s);
-      break;
-    }
-    const int child = vrank | mask;
-    if (child < p) {
-      Request r = irecv_ctx(tmp.data(), bytes, (child + root) % p, tag, ctx);
-      ep_->wait(r);
-      reduce_apply(op, dt, acc.data(), tmp.data(), count);
-    }
-  }
-  if (vrank == 0) std::memcpy(recvbuf, acc.data(), bytes);
+  coll::BuildCtx c = base_ctx();
+  c.sendbuf = sendbuf;
+  c.recvbuf = recvbuf;
+  c.count = count;
+  c.dt = dt;
+  c.redop = op;
+  c.root = root;
+  return launch_coll(coll::CollKind::Reduce, c, static_cast<std::int64_t>(bytes), count);
 }
 
-void Communicator::allreduce(const void* sendbuf, void* recvbuf, std::size_t count, Datatype dt,
-                             Op op) {
-  const int p = size();
+Request Communicator::iallreduce(const void* sendbuf, void* recvbuf, std::size_t count,
+                                 Datatype dt, Op op) {
   const std::size_t bytes = count * dt.size;
   if (recvbuf != sendbuf) std::memcpy(recvbuf, sendbuf, bytes);
-  if (p == 1) return;
-
-  using Algo = Config::AllreduceAlgo;
-  Algo algo = ep_->config().allreduce_algo;
-  if (algo == Algo::Auto) {
-    // MVAPICH-era selection: latency-optimal recursive doubling for short
-    // vectors, bandwidth-optimal reduce-scatter + allgather (Rabenseifner)
-    // for long ones; the tree fallback covers non-power-of-two sizes.
-    if (static_cast<std::int64_t>(bytes) >= ep_->config().rabenseifner_threshold &&
-        count >= static_cast<std::size_t>(p)) {
-      algo = Algo::Rabenseifner;
-    } else if (is_pow2(p)) {
-      algo = Algo::RecursiveDoubling;
-    } else {
-      algo = Algo::ReduceBcast;
-    }
-  }
-  if (algo == Algo::RecursiveDoubling && !is_pow2(p)) algo = Algo::ReduceBcast;
-  if (algo == Algo::Rabenseifner && count < static_cast<std::size_t>(p)) algo = Algo::ReduceBcast;
-
-  switch (algo) {
-    case Algo::RecursiveDoubling: {
-      const int tag = coll_tag();
-      std::vector<std::byte> tmp(bytes);
-      for (int mask = 1; mask < p; mask <<= 1) {
-        const int partner = my_index_ ^ mask;
-        coll_sendrecv(recvbuf, bytes, partner, tmp.data(), bytes, partner, tag);
-        reduce_apply(op, dt, recvbuf, tmp.data(), count);
-      }
-      return;
-    }
-    case Algo::Rabenseifner: {
-      // Reduce-scatter over padded equal blocks, then allgatherv of the
-      // unpadded pieces.  Moves 2·(p-1)/p of the vector instead of log p
-      // full copies — the long-vector winner.
-      const std::size_t per = (count + static_cast<std::size_t>(p) - 1) / static_cast<std::size_t>(p);
-      std::vector<std::byte> padded(per * static_cast<std::size_t>(p) * dt.size, std::byte{});
-      std::memcpy(padded.data(), recvbuf, bytes);
-      std::vector<std::byte> mine(per * dt.size);
-      reduce_scatter_block(padded.data(), mine.data(), per, dt, op);
-
-      std::vector<std::int64_t> counts(static_cast<std::size_t>(p)), displs(static_cast<std::size_t>(p));
-      for (int r = 0; r < p; ++r) {
-        const std::size_t lo = std::min(count, static_cast<std::size_t>(r) * per);
-        const std::size_t hi = std::min(count, (static_cast<std::size_t>(r) + 1) * per);
-        counts[static_cast<std::size_t>(r)] = static_cast<std::int64_t>(hi - lo);
-        displs[static_cast<std::size_t>(r)] = static_cast<std::int64_t>(lo);
-      }
-      allgatherv(mine.data(), static_cast<std::size_t>(counts[static_cast<std::size_t>(my_index_)]),
-                 recvbuf, counts, displs, dt);
-      return;
-    }
-    case Algo::ReduceBcast:
-    case Algo::Auto: {
-      reduce(recvbuf, recvbuf, count, dt, op, 0);
-      bcast(recvbuf, count, dt, 0);
-      return;
-    }
-  }
+  if (size() == 1) return done_request();
+  coll::BuildCtx c = base_ctx();
+  c.sendbuf = sendbuf;
+  c.recvbuf = recvbuf;  // pre-seeded with this rank's contribution
+  c.count = count;
+  c.dt = dt;
+  c.redop = op;
+  return launch_coll(coll::CollKind::Allreduce, c, static_cast<std::int64_t>(bytes), count);
 }
 
-void Communicator::gather(const void* sendbuf, void* recvbuf, std::size_t count, Datatype dt,
-                          int root) {
-  const int p = size();
-  const std::size_t bytes = count * dt.size;
-  const int tag = coll_tag();
-  const int ctx = ctx_base_ + 1;
-  if (my_index_ == root) {
-    auto* out = static_cast<std::byte*>(recvbuf);
-    std::vector<Request> reqs;
-    for (int r = 0; r < p; ++r) {
-      if (r == my_index_) {
-        std::memcpy(out + static_cast<std::size_t>(r) * bytes, sendbuf, bytes);
-      } else {
-        reqs.push_back(irecv_ctx(out + static_cast<std::size_t>(r) * bytes, bytes, r, tag, ctx));
-      }
-    }
-    for (auto& r : reqs) ep_->wait(r);
-  } else {
-    Request s = isend_kind(CommKind::Collective, sendbuf, bytes, root, tag, ctx);
-    ep_->wait(s);
-  }
-}
-
-void Communicator::scatter(const void* sendbuf, void* recvbuf, std::size_t count, Datatype dt,
-                           int root) {
-  const int p = size();
-  const std::size_t bytes = count * dt.size;
-  const int tag = coll_tag();
-  const int ctx = ctx_base_ + 1;
-  if (my_index_ == root) {
-    const auto* in = static_cast<const std::byte*>(sendbuf);
-    std::vector<Request> reqs;
-    for (int r = 0; r < p; ++r) {
-      if (r == my_index_) {
-        std::memcpy(recvbuf, in + static_cast<std::size_t>(r) * bytes, bytes);
-      } else {
-        reqs.push_back(isend_kind(CommKind::Collective, in + static_cast<std::size_t>(r) * bytes,
-                                  bytes, r, tag, ctx));
-      }
-    }
-    for (auto& r : reqs) ep_->wait(r);
-  } else {
-    Request r = irecv_ctx(recvbuf, bytes, root, tag, ctx);
-    ep_->wait(r);
-  }
-}
-
-void Communicator::allgather(const void* sendbuf, void* recvbuf, std::size_t count, Datatype dt) {
-  const int p = size();
+Request Communicator::iallgather(const void* sendbuf, void* recvbuf, std::size_t count,
+                                 Datatype dt) {
   const std::size_t bytes = count * dt.size;
   auto* out = static_cast<std::byte*>(recvbuf);
   std::memcpy(out + static_cast<std::size_t>(my_index_) * bytes, sendbuf, bytes);
-  if (p == 1) return;
-  const int tag = coll_tag();
-
-  // Ring: in step s we forward the block that originated s hops upstream.
-  const int right = (my_index_ + 1) % p;
-  const int left = (my_index_ - 1 + p) % p;
-  for (int s = 0; s < p - 1; ++s) {
-    const int send_block = (my_index_ - s + p) % p;
-    const int recv_block = (my_index_ - s - 1 + p) % p;
-    coll_sendrecv(out + static_cast<std::size_t>(send_block) * bytes, bytes, right,
-                  out + static_cast<std::size_t>(recv_block) * bytes, bytes, left, tag);
-  }
+  if (size() == 1) return done_request();
+  coll::BuildCtx c = base_ctx();
+  c.sendbuf = sendbuf;
+  c.recvbuf = recvbuf;
+  c.count = count;
+  c.dt = dt;
+  return launch_coll(coll::CollKind::Allgather, c, static_cast<std::int64_t>(bytes), count);
 }
 
-void Communicator::alltoall(const void* sendbuf, void* recvbuf, std::size_t count, Datatype dt) {
-  const int p = size();
+Request Communicator::ialltoall(const void* sendbuf, void* recvbuf, std::size_t count,
+                                Datatype dt) {
   const std::size_t bytes = count * dt.size;
   const auto* in = static_cast<const std::byte*>(sendbuf);
   auto* out = static_cast<std::byte*>(recvbuf);
   std::memcpy(out + static_cast<std::size_t>(my_index_) * bytes,
               in + static_cast<std::size_t>(my_index_) * bytes, bytes);
-  if (p == 1) return;
+  if (size() == 1) return done_request();
+  coll::BuildCtx c = base_ctx();
+  c.sendbuf = sendbuf;
+  c.recvbuf = recvbuf;
+  c.count = count;
+  c.dt = dt;
+  return launch_coll(coll::CollKind::Alltoall, c, static_cast<std::int64_t>(bytes), count);
+}
 
-  using Algo = Config::AlltoallAlgo;
-  Algo algo = ep_->config().alltoall_algo;
-  if (algo == Algo::Auto) {
-    // Bruck trades p-1 small messages for ceil(log2 p) larger ones plus
-    // local copies — the short-block winner once p > 2.
-    algo = (static_cast<std::int64_t>(bytes) < ep_->config().bruck_threshold && p > 2)
-               ? Algo::Bruck
-               : Algo::Pairwise;
-  }
+// ---- blocking collectives (build schedule, then wait) -------------------
 
-  if (algo == Algo::Bruck) {
-    // Bruck's algorithm.  Phase 1: local rotation so slot i holds the block
-    // for rank (me + i) mod p.
-    std::vector<std::byte> work(bytes * static_cast<std::size_t>(p));
-    for (int i = 0; i < p; ++i) {
-      std::memcpy(work.data() + static_cast<std::size_t>(i) * bytes,
-                  in + static_cast<std::size_t>((my_index_ + i) % p) * bytes, bytes);
-    }
-    // Phase 2: for each bit k, ship every block whose slot index has bit k.
-    const int tag = coll_tag();
-    std::vector<std::byte> sendpack(bytes * static_cast<std::size_t>(p));
-    std::vector<std::byte> recvpack(bytes * static_cast<std::size_t>(p));
-    for (int k = 1; k < p; k <<= 1) {
-      std::vector<int> idx;
-      for (int i = 1; i < p; ++i) {
-        if (i & k) idx.push_back(i);
-      }
-      for (std::size_t j = 0; j < idx.size(); ++j) {
-        std::memcpy(sendpack.data() + j * bytes,
-                    work.data() + static_cast<std::size_t>(idx[j]) * bytes, bytes);
-      }
-      compute(sim::transfer_time(static_cast<std::int64_t>(idx.size() * bytes),
-                                 ep_->config().memcpy_gbps));
-      const int to = (my_index_ + k) % p;
-      const int from = (my_index_ - k + p) % p;
-      coll_sendrecv(sendpack.data(), idx.size() * bytes, to, recvpack.data(), idx.size() * bytes,
-                    from, tag);
-      for (std::size_t j = 0; j < idx.size(); ++j) {
-        std::memcpy(work.data() + static_cast<std::size_t>(idx[j]) * bytes,
-                    recvpack.data() + j * bytes, bytes);
-      }
-      compute(sim::transfer_time(static_cast<std::int64_t>(idx.size() * bytes),
-                                 ep_->config().memcpy_gbps));
-    }
-    // Phase 3: slot i now holds the block FROM rank (me - i) mod p.
-    for (int i = 0; i < p; ++i) {
-      std::memcpy(out + static_cast<std::size_t>((my_index_ - i + p) % p) * bytes,
-                  work.data() + static_cast<std::size_t>(i) * bytes, bytes);
-    }
+void Communicator::barrier() {
+  Request r = ibarrier();
+  ep_->wait(r);
+}
+
+void Communicator::bcast(void* buf, std::size_t count, Datatype dt, int root) {
+  Request r = ibcast(buf, count, dt, root);
+  ep_->wait(r);
+}
+
+void Communicator::reduce(const void* sendbuf, void* recvbuf, std::size_t count, Datatype dt,
+                          Op op, int root) {
+  Request r = ireduce(sendbuf, recvbuf, count, dt, op, root);
+  ep_->wait(r);
+}
+
+void Communicator::allreduce(const void* sendbuf, void* recvbuf, std::size_t count, Datatype dt,
+                             Op op) {
+  Request r = iallreduce(sendbuf, recvbuf, count, dt, op);
+  ep_->wait(r);
+}
+
+void Communicator::gather(const void* sendbuf, void* recvbuf, std::size_t count, Datatype dt,
+                          int root) {
+  const std::size_t bytes = count * dt.size;
+  if (size() == 1) {
+    std::memcpy(recvbuf, sendbuf, bytes);
     return;
   }
+  coll::BuildCtx c = base_ctx();
+  c.sendbuf = sendbuf;
+  c.recvbuf = recvbuf;
+  c.count = count;
+  c.dt = dt;
+  c.root = root;
+  Request r = launch_coll(coll::CollKind::Gather, c, static_cast<std::int64_t>(bytes), count);
+  ep_->wait(r);
+}
 
-  // Pairwise exchange (MPI_Sendrecv per step, as the paper's collectives do).
-  const int tag = coll_tag();
-  for (int s = 1; s < p; ++s) {
-    int to, from;
-    if (is_pow2(p)) {
-      to = from = my_index_ ^ s;
-    } else {
-      to = (my_index_ + s) % p;
-      from = (my_index_ - s + p) % p;
-    }
-    coll_sendrecv(in + static_cast<std::size_t>(to) * bytes, bytes, to,
-                  out + static_cast<std::size_t>(from) * bytes, bytes, from, tag);
+void Communicator::scatter(const void* sendbuf, void* recvbuf, std::size_t count, Datatype dt,
+                           int root) {
+  const std::size_t bytes = count * dt.size;
+  if (size() == 1) {
+    std::memcpy(recvbuf, sendbuf, bytes);
+    return;
   }
+  coll::BuildCtx c = base_ctx();
+  c.sendbuf = sendbuf;
+  c.recvbuf = recvbuf;
+  c.count = count;
+  c.dt = dt;
+  c.root = root;
+  Request r = launch_coll(coll::CollKind::Scatter, c, static_cast<std::int64_t>(bytes), count);
+  ep_->wait(r);
+}
+
+void Communicator::allgather(const void* sendbuf, void* recvbuf, std::size_t count, Datatype dt) {
+  Request r = iallgather(sendbuf, recvbuf, count, dt);
+  ep_->wait(r);
+}
+
+void Communicator::alltoall(const void* sendbuf, void* recvbuf, std::size_t count, Datatype dt) {
+  Request r = ialltoall(sendbuf, recvbuf, count, dt);
+  ep_->wait(r);
 }
 
 void Communicator::alltoallv(const void* sendbuf, const std::vector<std::int64_t>& scounts,
@@ -330,84 +223,53 @@ void Communicator::alltoallv(const void* sendbuf, const std::vector<std::int64_t
   const auto* in = static_cast<const std::byte*>(sendbuf);
   auto* out = static_cast<std::byte*>(recvbuf);
   const std::size_t es = dt.size;
-
   std::memcpy(out + static_cast<std::size_t>(rdispls[static_cast<std::size_t>(my_index_)]) * es,
               in + static_cast<std::size_t>(sdispls[static_cast<std::size_t>(my_index_)]) * es,
               static_cast<std::size_t>(scounts[static_cast<std::size_t>(my_index_)]) * es);
   if (p == 1) return;
-  const int tag = coll_tag();
-
-  for (int s = 1; s < p; ++s) {
-    int to, from;
-    if (is_pow2(p)) {
-      to = from = my_index_ ^ s;
-    } else {
-      to = (my_index_ + s) % p;
-      from = (my_index_ - s + p) % p;
-    }
-    coll_sendrecv(in + static_cast<std::size_t>(sdispls[static_cast<std::size_t>(to)]) * es,
-                  static_cast<std::size_t>(scounts[static_cast<std::size_t>(to)]) * es, to,
-                  out + static_cast<std::size_t>(rdispls[static_cast<std::size_t>(from)]) * es,
-                  static_cast<std::size_t>(rcounts[static_cast<std::size_t>(from)]) * es, from,
-                  tag);
-  }
+  coll::BuildCtx c = base_ctx();
+  c.sendbuf = sendbuf;
+  c.recvbuf = recvbuf;
+  c.dt = dt;
+  c.scounts = &scounts;
+  c.sdispls = &sdispls;
+  c.rcounts = &rcounts;
+  c.rdispls = &rdispls;
+  Request r = launch_coll(coll::CollKind::Alltoallv, c, 0, 0);
+  ep_->wait(r);
 }
 
 void Communicator::reduce_scatter_block(const void* sendbuf, void* recvbuf, std::size_t count,
                                         Datatype dt, Op op) {
-  const int p = size();
   const std::size_t block = count * dt.size;
-  if (p == 1) {
+  if (size() == 1) {
     std::memcpy(recvbuf, sendbuf, block);
     return;
   }
-  // Pairwise-exchange reduce-scatter: accumulate my block from everyone.
-  const int tag = coll_tag();
-  std::vector<std::byte> acc(block), tmp(block);
-  std::memcpy(acc.data(), static_cast<const std::byte*>(sendbuf) +
-                              static_cast<std::size_t>(my_index_) * block, block);
-  for (int s = 1; s < p; ++s) {
-    const int to = (my_index_ + s) % p;
-    const int from = (my_index_ - s + p) % p;
-    coll_sendrecv(static_cast<const std::byte*>(sendbuf) + static_cast<std::size_t>(to) * block,
-                  block, to, tmp.data(), block, from, tag);
-    reduce_apply(op, dt, acc.data(), tmp.data(), count);
-  }
-  std::memcpy(recvbuf, acc.data(), block);
+  coll::BuildCtx c = base_ctx();
+  c.sendbuf = sendbuf;
+  c.recvbuf = recvbuf;
+  c.count = count;
+  c.dt = dt;
+  c.redop = op;
+  Request r = launch_coll(coll::CollKind::ReduceScatterBlock, c, static_cast<std::int64_t>(block),
+                          count);
+  ep_->wait(r);
 }
 
 void Communicator::scan(const void* sendbuf, void* recvbuf, std::size_t count, Datatype dt,
                         Op op) {
   const std::size_t bytes = count * dt.size;
   if (recvbuf != sendbuf) std::memcpy(recvbuf, sendbuf, bytes);
-  const int p = size();
-  if (p == 1) return;
-  // Hillis–Steele inclusive scan: log2 p rounds; rank r folds in the value
-  // from r - 2^k when it exists.
-  const int tag = coll_tag();
-  const int ctx = ctx_base_ + 1;
-  std::vector<std::byte> carry(bytes), tmp(bytes);
-  std::memcpy(carry.data(), recvbuf, bytes);
-  for (int k = 1; k < p; k <<= 1) {
-    Request rr, sr;
-    const bool has_left = my_index_ - k >= 0;
-    const bool has_right = my_index_ + k < p;
-    // Receives are posted before sends everywhere, so the rendezvous chain
-    // cannot deadlock; the send must complete before `carry` is mutated.
-    if (has_left) rr = irecv_ctx(tmp.data(), bytes, my_index_ - k, tag, ctx);
-    if (has_right) {
-      sr = isend_kind(CommKind::Collective, carry.data(), bytes, my_index_ + k, tag, ctx);
-      ep_->wait(sr);
-    }
-    if (has_left) {
-      ep_->wait(rr);
-      // Prefix order matters for non-commutative ops: left value first.
-      std::vector<std::byte> combined = tmp;
-      reduce_apply(op, dt, combined.data(), carry.data(), count);
-      carry = combined;
-    }
-  }
-  std::memcpy(recvbuf, carry.data(), bytes);
+  if (size() == 1) return;
+  coll::BuildCtx c = base_ctx();
+  c.sendbuf = sendbuf;
+  c.recvbuf = recvbuf;  // pre-seeded with this rank's contribution
+  c.count = count;
+  c.dt = dt;
+  c.redop = op;
+  Request r = launch_coll(coll::CollKind::Scan, c, static_cast<std::int64_t>(bytes), count);
+  ep_->wait(r);
 }
 
 void Communicator::allgatherv(const void* sendbuf, std::size_t sendcount, void* recvbuf,
@@ -424,48 +286,40 @@ void Communicator::allgatherv(const void* sendbuf, std::size_t sendcount, void* 
   std::memcpy(out + static_cast<std::size_t>(displs[static_cast<std::size_t>(my_index_)]) * dt.size,
               sendbuf, sendcount * dt.size);
   if (p == 1) return;
-  const int tag = coll_tag();
-  const int right = (my_index_ + 1) % p;
-  const int left = (my_index_ - 1 + p) % p;
-  // Ring with variable block sizes.
-  for (int s = 0; s < p - 1; ++s) {
-    const int send_block = (my_index_ - s + p) % p;
-    const int recv_block = (my_index_ - s - 1 + p) % p;
-    coll_sendrecv(
-        out + static_cast<std::size_t>(displs[static_cast<std::size_t>(send_block)]) * dt.size,
-        static_cast<std::size_t>(counts[static_cast<std::size_t>(send_block)]) * dt.size, right,
-        out + static_cast<std::size_t>(displs[static_cast<std::size_t>(recv_block)]) * dt.size,
-        static_cast<std::size_t>(counts[static_cast<std::size_t>(recv_block)]) * dt.size, left,
-        tag);
-  }
+  coll::BuildCtx c = base_ctx();
+  c.sendbuf = sendbuf;
+  c.recvbuf = recvbuf;
+  c.count = sendcount;
+  c.dt = dt;
+  c.rcounts = &counts;
+  c.rdispls = &displs;
+  Request r = launch_coll(coll::CollKind::Allgatherv, c, 0, 0);
+  ep_->wait(r);
 }
 
 void Communicator::gatherv(const void* sendbuf, std::size_t sendcount, void* recvbuf,
                            const std::vector<std::int64_t>& counts,
                            const std::vector<std::int64_t>& displs, Datatype dt, int root) {
   const int p = size();
-  const int tag = coll_tag();
-  const int ctx = ctx_base_ + 1;
-  if (my_index_ == root) {
-    if (static_cast<int>(counts.size()) != p) {
-      throw std::invalid_argument("gatherv: counts must have comm-size entries");
-    }
-    auto* out = static_cast<std::byte*>(recvbuf);
-    std::vector<Request> reqs;
-    for (int r = 0; r < p; ++r) {
-      const std::size_t bytes = static_cast<std::size_t>(counts[static_cast<std::size_t>(r)]) * dt.size;
-      std::byte* dst = out + static_cast<std::size_t>(displs[static_cast<std::size_t>(r)]) * dt.size;
-      if (r == my_index_) {
-        std::memcpy(dst, sendbuf, bytes);
-      } else {
-        reqs.push_back(irecv_ctx(dst, bytes, r, tag, ctx));
-      }
-    }
-    for (auto& r : reqs) ep_->wait(r);
-  } else {
-    Request s = isend_kind(CommKind::Collective, sendbuf, sendcount * dt.size, root, tag, ctx);
-    ep_->wait(s);
+  if (my_index_ == root && static_cast<int>(counts.size()) != p) {
+    throw std::invalid_argument("gatherv: counts must have comm-size entries");
   }
+  if (p == 1) {
+    auto* out = static_cast<std::byte*>(recvbuf);
+    std::memcpy(out + static_cast<std::size_t>(displs[0]) * dt.size, sendbuf,
+                static_cast<std::size_t>(counts[0]) * dt.size);
+    return;
+  }
+  coll::BuildCtx c = base_ctx();
+  c.sendbuf = sendbuf;
+  c.recvbuf = recvbuf;
+  c.count = sendcount;
+  c.dt = dt;
+  c.root = root;
+  c.rcounts = &counts;
+  c.rdispls = &displs;
+  Request r = launch_coll(coll::CollKind::Gatherv, c, 0, 0);
+  ep_->wait(r);
 }
 
 }  // namespace ib12x::mvx

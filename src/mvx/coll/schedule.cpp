@@ -1,0 +1,79 @@
+#include "mvx/coll/schedule.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace ib12x::mvx::coll {
+
+int CollSchedule::add_round(std::vector<int> deps) {
+  const int idx = static_cast<int>(rounds_.size());
+  for (int d : deps) {
+    if (d < 0 || d >= idx) throw std::logic_error("CollSchedule: dep on a later/unknown round");
+  }
+  rounds_.push_back(CollRound{{}, std::move(deps)});
+  return idx;
+}
+
+int CollSchedule::add_barrier_round() {
+  std::vector<int> all(rounds_.size());
+  std::iota(all.begin(), all.end(), 0);
+  return add_round(std::move(all));
+}
+
+void CollSchedule::isend(int r, int peer_world, int tag, const void* src, std::int64_t bytes,
+                         int lane) {
+  CollOp op;
+  op.kind = CollOp::Kind::Isend;
+  op.peer = peer_world;
+  op.tag = tag;
+  op.lane = lane;
+  op.src = src;
+  op.bytes = bytes;
+  rounds_.at(static_cast<std::size_t>(r)).ops.push_back(op);
+}
+
+void CollSchedule::irecv(int r, int peer_world, int tag, void* dst, std::int64_t bytes, int lane) {
+  CollOp op;
+  op.kind = CollOp::Kind::Irecv;
+  op.peer = peer_world;
+  op.tag = tag;
+  op.lane = lane;
+  op.dst = dst;
+  op.bytes = bytes;
+  rounds_.at(static_cast<std::size_t>(r)).ops.push_back(op);
+}
+
+void CollSchedule::reduce_local(int r, Op redop, Datatype dt, void* inout, const void* in,
+                                std::size_t count) {
+  CollOp op;
+  op.kind = CollOp::Kind::ReduceLocal;
+  op.redop = redop;
+  op.dt = dt;
+  op.dst = inout;
+  op.src = in;
+  op.count = count;
+  rounds_.at(static_cast<std::size_t>(r)).ops.push_back(op);
+}
+
+void CollSchedule::copy(int r, void* dst, const void* src, std::int64_t bytes) {
+  CollOp op;
+  op.kind = CollOp::Kind::Copy;
+  op.dst = dst;
+  op.src = src;
+  op.bytes = bytes;
+  rounds_.at(static_cast<std::size_t>(r)).ops.push_back(op);
+}
+
+void CollSchedule::cpu(int r, sim::Time t) {
+  CollOp op;
+  op.kind = CollOp::Kind::Cpu;
+  op.cpu = t;
+  rounds_.at(static_cast<std::size_t>(r)).ops.push_back(op);
+}
+
+std::byte* CollSchedule::scratch(std::size_t n) {
+  scratch_.emplace_back(n);
+  return scratch_.back().data();
+}
+
+}  // namespace ib12x::mvx::coll

@@ -1,0 +1,92 @@
+// The compiled form of a collective: a small DAG of rounds.
+//
+// A builder (coll/builders.cpp) translates one collective call into a
+// CollSchedule at the moment the collective starts; the CollEngine then
+// executes it incrementally as the underlying transfers complete.  A *round*
+// is the engine's unit of synchronization: its ops are issued in listed
+// order (local ops — reduce_local / copy / cpu — execute inline, isend /
+// irecv post to the endpoint), and the round completes when every posted
+// transfer has completed.  A round becomes eligible the moment all rounds in
+// its `deps` list are complete, so independent chains — the multi-lane
+// decomposition's per-lane pipelines — progress without synchronizing with
+// each other, while a `barrier_round` (a round depending on every currently
+// known round) joins the whole DAG.
+//
+// The schedule owns its scratch memory (accumulators, pack buffers): user
+// buffers must stay valid until the collective completes, exactly as MPI
+// requires, but nothing in a schedule refers to the stack frame that built
+// it, which is what lets a non-blocking collective outlive its initiating
+// call.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "mvx/datatype.hpp"
+#include "sim/time.hpp"
+
+namespace ib12x::mvx::coll {
+
+struct CollOp {
+  enum class Kind : std::uint8_t {
+    Isend,        ///< post a Collective-marked send (peer = world rank)
+    Irecv,        ///< post a receive on the collective context
+    ReduceLocal,  ///< dst[i] = redop(dst[i], src[i]) elementwise
+    Copy,         ///< memcpy dst <- src (no CPU charge; pair with Cpu to bill)
+    Cpu,          ///< charge `cpu` of host time to the executing context
+  };
+
+  Kind kind = Kind::Copy;
+  int peer = -1;             ///< world rank (Isend/Irecv)
+  int tag = 0;               ///< full wire tag (Isend/Irecv)
+  int lane = -1;             ///< rail pin for multi-lane transfers; -1 = policy decides
+  const void* src = nullptr; ///< Isend / Copy / ReduceLocal input
+  void* dst = nullptr;       ///< Irecv / Copy destination, ReduceLocal accumulator
+  std::int64_t bytes = 0;    ///< Isend/Irecv/Copy byte count
+  std::size_t count = 0;     ///< ReduceLocal element count
+  Datatype dt{};             ///< ReduceLocal element type
+  Op redop = Op::Sum;        ///< ReduceLocal operator
+  sim::Time cpu = 0;         ///< Cpu charge
+};
+
+struct CollRound {
+  std::vector<CollOp> ops;
+  std::vector<int> deps;  ///< indices of rounds that must complete first
+};
+
+class CollSchedule {
+ public:
+  /// Appends an empty round; `deps` lists prerequisite round indices
+  /// (pass {} for a DAG root, or {prev} to chain).  Returns its index.
+  int add_round(std::vector<int> deps = {});
+
+  /// Appends a round depending on *every* round added so far — the
+  /// barrier_round primitive joining all open chains.
+  int add_barrier_round();
+
+  // ---- op emitters (append to round `r`) ----
+  void isend(int r, int peer_world, int tag, const void* src, std::int64_t bytes, int lane = -1);
+  void irecv(int r, int peer_world, int tag, void* dst, std::int64_t bytes, int lane = -1);
+  void reduce_local(int r, Op redop, Datatype dt, void* inout, const void* in, std::size_t count);
+  void copy(int r, void* dst, const void* src, std::int64_t bytes);
+  void cpu(int r, sim::Time t);
+
+  /// Allocates `n` bytes of scratch owned by (and living as long as) the
+  /// schedule.  Addresses are stable across later allocations.
+  std::byte* scratch(std::size_t n);
+
+  [[nodiscard]] std::size_t round_count() const { return rounds_.size(); }
+  [[nodiscard]] const std::vector<CollRound>& rounds() const { return rounds_; }
+
+  int ctx = 0;                        ///< context id for every posted transfer
+  std::function<void()> on_complete;  ///< run when the schedule finishes (tag-slot release)
+
+ private:
+  std::vector<CollRound> rounds_;
+  std::deque<std::vector<std::byte>> scratch_;  // deque: stable element addresses
+};
+
+}  // namespace ib12x::mvx::coll

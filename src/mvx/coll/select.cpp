@@ -1,0 +1,134 @@
+#include "mvx/coll/select.hpp"
+
+#include <algorithm>
+
+#include "mvx/coll/builders.hpp"
+
+namespace ib12x::mvx::coll {
+
+namespace {
+
+bool is_pow2(int x) { return x > 0 && (x & (x - 1)) == 0; }
+
+constexpr AlgoEntry kBarrier[] = {
+    {"dissemination", build_barrier_dissemination},
+};
+constexpr AlgoEntry kBcast[] = {
+    {"binomial", build_bcast_binomial},
+    {"multilane", build_bcast_multilane},
+};
+constexpr AlgoEntry kReduce[] = {
+    {"binomial", build_reduce_binomial},
+};
+constexpr AlgoEntry kAllreduce[] = {
+    {"recursive_doubling", build_allreduce_recursive_doubling},
+    {"reduce_bcast", build_allreduce_reduce_bcast},
+    {"rabenseifner", build_allreduce_rabenseifner},
+    {"multilane", build_allreduce_multilane},
+};
+constexpr AlgoEntry kGather[] = {{"linear", build_gather_linear}};
+constexpr AlgoEntry kGatherv[] = {{"linear", build_gatherv_linear}};
+constexpr AlgoEntry kScatter[] = {{"linear", build_scatter_linear}};
+constexpr AlgoEntry kAllgather[] = {{"ring", build_allgather_ring}};
+constexpr AlgoEntry kAllgatherv[] = {{"ring", build_allgatherv_ring}};
+constexpr AlgoEntry kAlltoall[] = {
+    {"pairwise", build_alltoall_pairwise},
+    {"bruck", build_alltoall_bruck},
+};
+constexpr AlgoEntry kAlltoallv[] = {{"pairwise", build_alltoallv_pairwise}};
+constexpr AlgoEntry kReduceScatterBlock[] = {{"pairwise", build_reduce_scatter_block_pairwise}};
+constexpr AlgoEntry kScan[] = {{"hillis_steele", build_scan_hillis_steele}};
+
+/// True when the tuning enables lanes and the payload is big enough that
+/// Auto selection should decompose it.
+bool lanes_engage(const Tuning& t, std::int64_t total_bytes, int nrails) {
+  return t.lanes != 1 && nrails > 1 && total_bytes >= t.lane_threshold;
+}
+
+}  // namespace
+
+AlgoList algorithms(CollKind kind) {
+  switch (kind) {
+    case CollKind::Barrier: return {kBarrier, std::size(kBarrier)};
+    case CollKind::Bcast: return {kBcast, std::size(kBcast)};
+    case CollKind::Reduce: return {kReduce, std::size(kReduce)};
+    case CollKind::Allreduce: return {kAllreduce, std::size(kAllreduce)};
+    case CollKind::Gather: return {kGather, std::size(kGather)};
+    case CollKind::Gatherv: return {kGatherv, std::size(kGatherv)};
+    case CollKind::Scatter: return {kScatter, std::size(kScatter)};
+    case CollKind::Allgather: return {kAllgather, std::size(kAllgather)};
+    case CollKind::Allgatherv: return {kAllgatherv, std::size(kAllgatherv)};
+    case CollKind::Alltoall: return {kAlltoall, std::size(kAlltoall)};
+    case CollKind::Alltoallv: return {kAlltoallv, std::size(kAlltoallv)};
+    case CollKind::ReduceScatterBlock:
+      return {kReduceScatterBlock, std::size(kReduceScatterBlock)};
+    case CollKind::Scan: return {kScan, std::size(kScan)};
+  }
+  return {kBarrier, std::size(kBarrier)};  // unreachable
+}
+
+int lane_width(const Tuning& t, int nrails) {
+  const int nr = std::max(1, nrails);
+  if (t.lanes == 0) return nr;
+  return std::max(1, std::min(t.lanes, nr));
+}
+
+const AlgoEntry& select(CollKind kind, const Tuning& t, int p, std::int64_t total_bytes,
+                        std::size_t count, int nrails) {
+  switch (kind) {
+    case CollKind::Bcast: {
+      BcastAlgo algo = t.bcast_algo;
+      if (algo == BcastAlgo::Auto) {
+        algo = lanes_engage(t, total_bytes, nrails) ? BcastAlgo::MultiLane : BcastAlgo::Binomial;
+      }
+      return kBcast[algo == BcastAlgo::MultiLane ? 1 : 0];
+    }
+    case CollKind::Allreduce: {
+      AllreduceAlgo algo = t.allreduce_algo;
+      if (algo == AllreduceAlgo::Auto) {
+        // Lane decomposition first when enabled; otherwise the MVAPICH-era
+        // rules: bandwidth-optimal Rabenseifner for long vectors,
+        // latency-optimal recursive doubling for power-of-two p, tree
+        // fallback for the rest.
+        if (lanes_engage(t, total_bytes, nrails) && p > 1) {
+          algo = AllreduceAlgo::MultiLane;
+        } else if (total_bytes >= t.rabenseifner_threshold &&
+                   count >= static_cast<std::size_t>(p)) {
+          algo = AllreduceAlgo::Rabenseifner;
+        } else if (is_pow2(p)) {
+          algo = AllreduceAlgo::RecursiveDoubling;
+        } else {
+          algo = AllreduceAlgo::ReduceBcast;
+        }
+      }
+      if (algo == AllreduceAlgo::RecursiveDoubling && !is_pow2(p)) {
+        algo = AllreduceAlgo::ReduceBcast;
+      }
+      if (algo == AllreduceAlgo::Rabenseifner && count < static_cast<std::size_t>(p)) {
+        algo = AllreduceAlgo::ReduceBcast;
+      }
+      switch (algo) {
+        case AllreduceAlgo::RecursiveDoubling: return kAllreduce[0];
+        case AllreduceAlgo::Rabenseifner: return kAllreduce[2];
+        case AllreduceAlgo::MultiLane: return kAllreduce[3];
+        case AllreduceAlgo::ReduceBcast:
+        case AllreduceAlgo::Auto: return kAllreduce[1];
+      }
+      return kAllreduce[1];
+    }
+    case CollKind::Alltoall: {
+      AlltoallAlgo algo = t.alltoall_algo;
+      if (algo == AlltoallAlgo::Auto) {
+        // Bruck trades p-1 small messages for ceil(log2 p) larger ones plus
+        // local copies — the short-block winner once p > 2.
+        algo = (total_bytes < t.bruck_threshold && p > 2) ? AlltoallAlgo::Bruck
+                                                          : AlltoallAlgo::Pairwise;
+      }
+      return kAlltoall[algo == AlltoallAlgo::Bruck ? 1 : 0];
+    }
+    default:
+      return algorithms(kind).entries[0];
+  }
+}
+
+}  // namespace ib12x::mvx::coll

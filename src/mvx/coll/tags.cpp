@@ -1,0 +1,46 @@
+#include "mvx/coll/tags.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace ib12x::mvx::coll {
+
+int TagRing::Block::tag(int index) const {
+  if (index < 0 || index >= kTagsPerSlot) {
+    throw std::logic_error("TagRing: schedule exceeded its " +
+                           std::to_string(kTagsPerSlot) + "-tag sub-range");
+  }
+  return base + index;
+}
+
+void TagRing::ensure_held() {
+  if (held_.empty()) held_.assign(kSlots, false);
+}
+
+bool TagRing::next_busy() const {
+  if (held_.empty()) return false;
+  return held_[static_cast<std::size_t>(next_slot())];
+}
+
+TagRing::Block TagRing::reserve() {
+  ensure_held();
+  const int slot = next_slot();
+  if (held_[static_cast<std::size_t>(slot)]) {
+    throw std::logic_error("TagRing::reserve: slot " + std::to_string(slot) +
+                           " still held by an in-flight collective");
+  }
+  held_[static_cast<std::size_t>(slot)] = true;
+  ++active_;
+  ++seq_;
+  return Block{slot, kCollectiveBit | (slot << kIndexBits)};
+}
+
+void TagRing::release(int slot) {
+  if (slot < 0 || slot >= kSlots || held_.empty() || !held_[static_cast<std::size_t>(slot)]) {
+    throw std::logic_error("TagRing::release: slot " + std::to_string(slot) + " not held");
+  }
+  held_[static_cast<std::size_t>(slot)] = false;
+  --active_;
+}
+
+}  // namespace ib12x::mvx::coll

@@ -1,0 +1,72 @@
+// Collective tag-space management.
+//
+// Collectives match internal transfers by tag on the collective context
+// (ctx_base + 1).  The old scheme handed every collective one tag,
+// `0x40000000 | (seq & 0xffffff)`: after 2^24 collectives the sequence
+// wrapped and a tag could cross-match with a transfer of a collective that
+// was still in flight.  Overlapping non-blocking collectives make the hazard
+// concrete, and the multi-lane builders need several tags per collective
+// anyway, so the 24-bit field is now split into
+//
+//     [ slot : 16 bits ][ index : 8 bits ]
+//
+// Each *schedule* reserves one slot — a sub-range of 256 tags — for its
+// whole lifetime; builders draw per-lane / per-phase tags from the index
+// byte.  The slot is a pure function of the per-communicator collective
+// sequence number, so every member of the communicator computes identical
+// tags without agreement traffic.  Wraparound safety is local: before
+// reusing slot s (seq ≥ seq' + 2^16 with schedule seq' still in flight) the
+// caller blocks until the old schedule releases it, which cannot mismatch
+// tags across ranks because tag values never depend on release order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ib12x::mvx::coll {
+
+class TagRing {
+ public:
+  static constexpr int kSlotBits = 16;
+  static constexpr int kIndexBits = 8;
+  static constexpr int kSlots = 1 << kSlotBits;
+  static constexpr int kTagsPerSlot = 1 << kIndexBits;
+  static constexpr int kCollectiveBit = 0x40000000;
+
+  struct Block {
+    int slot = -1;
+    int base = 0;  ///< first tag of the reserved sub-range
+
+    [[nodiscard]] int tag(int index) const;  ///< throws past kTagsPerSlot
+  };
+
+  /// The slot the next collective will use (same on every rank at the same
+  /// collective count).
+  [[nodiscard]] int next_slot() const { return static_cast<int>(seq_ % kSlots); }
+
+  /// True if `next_slot()` is still held by an in-flight schedule; the
+  /// caller must wait for that schedule before reserving.
+  [[nodiscard]] bool next_busy() const;
+
+  /// Reserves the next slot (must not be busy) and advances the sequence.
+  Block reserve();
+
+  /// Releases a reserved slot (called when its schedule completes).
+  void release(int slot);
+
+  [[nodiscard]] std::int64_t seq() const { return seq_; }
+  [[nodiscard]] int active() const { return active_; }
+
+  /// Test hook: jump the sequence counter (e.g. next to the wrap boundary).
+  void set_seq_for_test(std::int64_t s) { seq_ = s; }
+
+ private:
+  std::int64_t seq_ = 0;
+  int active_ = 0;
+  // One bit per slot; 2^16 slots = 8 KiB. Allocated lazily on first reserve
+  // so idle communicators (dup/split temporaries) stay cheap.
+  std::vector<bool> held_;
+  void ensure_held();
+};
+
+}  // namespace ib12x::mvx::coll

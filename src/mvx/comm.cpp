@@ -98,6 +98,42 @@ void Communicator::waitall(std::vector<Request>& reqs) {
   for (auto& r : reqs) ep_->wait(r);
 }
 
+int Communicator::waitany(const std::vector<Request>& reqs) {
+  bool any = false;
+  for (const Request& r : reqs) {
+    if (r != nullptr) any = true;
+  }
+  if (!any) return -1;
+  int idx = -1;
+  ep_->process().wait_until(ep_->progress(), [&] {
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      if (reqs[i] != nullptr && reqs[i]->done) {
+        idx = static_cast<int>(i);
+        return true;
+      }
+    }
+    return false;
+  });
+  return idx;
+}
+
+std::vector<int> Communicator::waitsome(const std::vector<Request>& reqs) {
+  std::vector<int> done;
+  bool any = false;
+  for (const Request& r : reqs) {
+    if (r != nullptr) any = true;
+  }
+  if (!any) return done;
+  ep_->process().wait_until(ep_->progress(), [&] {
+    done.clear();
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      if (reqs[i] != nullptr && reqs[i]->done) done.push_back(static_cast<int>(i));
+    }
+    return !done.empty();
+  });
+  return done;
+}
+
 bool Communicator::test(const Request& r) { return ep_->test(r); }
 
 void Communicator::sendrecv(const void* sbuf, std::size_t scount, Datatype sdt, int dst, int stag,

@@ -13,6 +13,8 @@
 #include <memory>
 #include <vector>
 
+#include "mvx/coll/select.hpp"
+#include "mvx/coll/tags.hpp"
 #include "mvx/datatype.hpp"
 #include "mvx/endpoint.hpp"
 #include "mvx/policy.hpp"
@@ -20,6 +22,10 @@
 #include "sim/time.hpp"
 
 namespace ib12x::mvx {
+
+namespace coll {
+struct BuildCtx;
+}
 
 class World;
 
@@ -43,6 +49,12 @@ class Communicator {
   Request irecv(void* buf, std::size_t count, Datatype dt, int src, int tag);
   void wait(const Request& r, Status* st = nullptr);
   void waitall(std::vector<Request>& reqs);
+  /// MPI_Waitany: blocks until at least one request is complete and returns
+  /// the lowest complete index (-1 if `reqs` is empty / all null).
+  int waitany(const std::vector<Request>& reqs);
+  /// MPI_Waitsome: blocks until at least one request is complete and returns
+  /// every complete index (empty if `reqs` is empty / all null).
+  std::vector<int> waitsome(const std::vector<Request>& reqs);
   bool test(const Request& r);
   void sendrecv(const void* sbuf, std::size_t scount, Datatype sdt, int dst, int stag,
                 void* rbuf, std::size_t rcount, Datatype rdt, int src, int rtag,
@@ -52,7 +64,22 @@ class Communicator {
   /// MPI_Probe: blocks until a matching message arrives.
   void probe(int src, int tag, Status* st = nullptr);
 
-  // ---- collectives (blocking, MPI semantics) ----
+  // ---- non-blocking collectives (schedule-engine backed) ----
+  //
+  // Each call compiles the collective into a CollSchedule (mvx/coll/) and
+  // hands it to the endpoint's CollEngine; the returned Request completes
+  // when the whole schedule has executed and is waitable exactly like a
+  // pt2pt request (wait / waitall / waitany / test).  All buffers must stay
+  // untouched until completion, as MPI requires.
+  Request ibarrier();
+  Request ibcast(void* buf, std::size_t count, Datatype dt, int root);
+  Request ireduce(const void* sendbuf, void* recvbuf, std::size_t count, Datatype dt, Op op,
+                  int root);
+  Request iallreduce(const void* sendbuf, void* recvbuf, std::size_t count, Datatype dt, Op op);
+  Request iallgather(const void* sendbuf, void* recvbuf, std::size_t count, Datatype dt);
+  Request ialltoall(const void* sendbuf, void* recvbuf, std::size_t count, Datatype dt);
+
+  // ---- collectives (blocking = build schedule, then wait) ----
   void barrier();
   void bcast(void* buf, std::size_t count, Datatype dt, int root);
   void reduce(const void* sendbuf, void* recvbuf, std::size_t count, Datatype dt, Op op, int root);
@@ -93,15 +120,22 @@ class Communicator {
 
   [[nodiscard]] Endpoint& endpoint() const { return *ep_; }
 
+  /// Test hook: this communicator's collective tag ring (wraparound tests).
+  [[nodiscard]] coll::TagRing& debug_tag_ring() { return *tag_ring_; }
+
  private:
   friend class World;
 
   /// Internal pt2pt with an explicit communication-marker kind.
   Request isend_kind(CommKind kind, const void* buf, std::size_t bytes, int dst, int tag, int ctx);
   Request irecv_ctx(void* buf, std::size_t bytes, int src, int tag, int ctx);
-  void coll_sendrecv(const void* sbuf, std::size_t sbytes, int dst, void* rbuf,
-                     std::size_t rbytes, int src, int tag);
-  [[nodiscard]] int coll_tag();
+
+  /// Geometry half of a BuildCtx (p, me, group, ctx, cfg, rails).
+  [[nodiscard]] coll::BuildCtx base_ctx() const;
+  /// Reserves a tag slot (waiting out a wrap-boundary collision), selects
+  /// the algorithm, builds the schedule and hands it to the engine.
+  Request launch_coll(coll::CollKind kind, coll::BuildCtx& c, std::int64_t total_bytes,
+                      std::size_t count);
 
   // self-messaging (same rank) is satisfied locally
   struct SelfMsg {
@@ -117,7 +151,9 @@ class Communicator {
   std::vector<int> group_;   ///< comm rank → world rank
   int my_index_;
   int ctx_base_;             ///< pt2pt ctx = ctx_base_, collective ctx = ctx_base_ + 1
-  int coll_seq_ = 0;
+  // shared_ptr: in-flight schedules hold the ring (for slot release on
+  // completion) even if the Communicator object is moved or destroyed.
+  std::shared_ptr<coll::TagRing> tag_ring_ = std::make_shared<coll::TagRing>();
 };
 
 }  // namespace ib12x::mvx

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "ib/params.hpp"
+#include "mvx/coll/select.hpp"
 #include "mvx/policy.hpp"
 #include "sim/time.hpp"
 
@@ -50,15 +51,9 @@ struct Config {
   sim::Time poll_delay = sim::nanoseconds(100);  ///< poll-loop discovery granularity
 
   // ---- collective algorithm selection (MVAPICH-era tuning) ---------------
-  enum class AlltoallAlgo { Auto, Pairwise, Bruck };
-  enum class AllreduceAlgo { Auto, RecursiveDoubling, ReduceBcast, Rabenseifner };
-  AlltoallAlgo alltoall_algo = AlltoallAlgo::Auto;
-  AllreduceAlgo allreduce_algo = AllreduceAlgo::Auto;
-  /// Auto selection crossovers (measured in bench/ablation_coll_algos):
-  /// Bruck for alltoall blocks below bruck_threshold; Rabenseifner for
-  /// allreduce vectors at/above rabenseifner_threshold bytes.
-  std::int64_t bruck_threshold = 512;
-  std::int64_t rabenseifner_threshold = 128 * 1024;
+  /// Algorithm forcing, Auto crossovers and multi-lane knobs; the registry
+  /// and selection table live in mvx/coll/select.hpp.
+  coll::Tuning coll;
 
   // ---- protocol ----------------------------------------------------------
   std::int64_t rndv_threshold = 16 * 1024;   ///< eager/rendezvous switch (paper §3.3)

@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "mvx/coll/engine.hpp"
 #include "mvx/fast_path_channel.hpp"
 #include "mvx/matcher.hpp"
 #include "mvx/net_channel.hpp"
@@ -22,6 +23,7 @@ Endpoint::Endpoint(sim::Simulator& sim, int rank, int node, std::vector<ib::Hca*
   shm_ = std::make_unique<ShmChannel>(*this);
   fast_path_ = std::make_unique<FastPathChannel>(*this, *net_);
   rndv_ = std::make_unique<Rendezvous>(*this, *net_);
+  coll_engine_ = std::make_unique<coll::CollEngine>(*this);
 }
 
 Endpoint::~Endpoint() = default;
@@ -49,7 +51,7 @@ sim::Time Endpoint::memcpy_time(std::int64_t bytes) const {
 // --------------------------------------------------------------- public API
 
 Request Endpoint::start_send(CommKind kind, const void* buf, std::int64_t bytes, int dst,
-                             int tag, int ctx) {
+                             int tag, int ctx, int lane) {
   if (bytes < 0) throw std::invalid_argument("start_send: negative size");
   if (dst == rank_) throw std::invalid_argument("start_send: self-sends go through sendrecv_self");
   Request req = make_request();
@@ -60,6 +62,7 @@ Request Endpoint::start_send(CommKind kind, const void* buf, std::int64_t bytes,
   req->tag = tag;
   req->ctx = ctx;
   req->kind = static_cast<std::uint8_t>(kind);
+  req->lane = lane;
 
   // Route to the highest-priority channel that accepts the message; the net
   // channel splits at the rendezvous threshold between the eager protocol
@@ -97,7 +100,7 @@ Request Endpoint::start_recv(void* buf, std::int64_t capacity, int src, int tag,
       if (static_cast<std::int64_t>(hdr.size) > capacity) {
         throw std::runtime_error("start_recv: message truncation (unexpected eager)");
       }
-      proc_->compute(cfg_.match_cpu + memcpy_time(static_cast<std::int64_t>(hdr.size)));
+      process().compute(cfg_.match_cpu + memcpy_time(static_cast<std::int64_t>(hdr.size)));
       if (hdr.size > 0) std::memcpy(buf, msg->payload.data(), hdr.size);
       req->status = {hdr.src_rank, hdr.tag, static_cast<std::int64_t>(hdr.size)};
       req->done = true;
@@ -106,7 +109,7 @@ Request Endpoint::start_recv(void* buf, std::int64_t capacity, int src, int tag,
       if (static_cast<std::int64_t>(hdr.size) > capacity) {
         throw std::runtime_error("start_recv: message truncation (unexpected rendezvous)");
       }
-      proc_->compute(cfg_.match_cpu);
+      process().compute(cfg_.match_cpu);
       rndv_->accept(hdr, req);
     }
     return req;
@@ -117,7 +120,7 @@ Request Endpoint::start_recv(void* buf, std::int64_t capacity, int src, int tag,
 }
 
 void Endpoint::wait(const Request& r) {
-  proc_->wait_until(progress_, [&] { return r->done; });
+  process().wait_until(progress_, [&] { return r->done; });
 }
 
 bool Endpoint::iprobe(int src, int tag, int ctx, Status* st) {
@@ -125,7 +128,7 @@ bool Endpoint::iprobe(int src, int tag, int ctx, Status* st) {
 }
 
 void Endpoint::probe(int src, int tag, int ctx, Status* st) {
-  proc_->wait_until(progress_, [&] { return iprobe(src, tag, ctx, st); });
+  process().wait_until(progress_, [&] { return iprobe(src, tag, ctx, st); });
 }
 
 // --------------------------------------------------- inbound glue (events)

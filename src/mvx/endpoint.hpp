@@ -42,6 +42,10 @@ class Hca;
 
 namespace ib12x::mvx {
 
+namespace coll {
+class CollEngine;
+}
+
 class FastPathChannel;
 class Matcher;
 class NetChannel;
@@ -70,7 +74,10 @@ class Endpoint final : public ChannelHost {
 
   // ---- process-context API (called by Communicator) ----
 
-  Request start_send(CommKind kind, const void* buf, std::int64_t bytes, int dst, int tag, int ctx);
+  /// `lane >= 0` pins the transfer to rail (lane % nrails) instead of letting
+  /// the EPC policy schedule it — the multi-lane collective decomposition.
+  Request start_send(CommKind kind, const void* buf, std::int64_t bytes, int dst, int tag, int ctx,
+                     int lane = -1);
   Request start_recv(void* buf, std::int64_t capacity, int src, int tag, int ctx);
   void wait(const Request& r);
   [[nodiscard]] bool test(const Request& r) const { return r->done; }
@@ -84,7 +91,16 @@ class Endpoint final : public ChannelHost {
 
   [[nodiscard]] int rank() const override { return rank_; }
   [[nodiscard]] int node() const { return node_; }
-  [[nodiscard]] sim::Process& process() const override { return *proc_; }
+  /// The process to charge CPU to: the currently executing fiber when there
+  /// is one (the rank's own, or its collective-progress helper), otherwise
+  /// the attached rank process.  This is what routes channel-level compute()
+  /// charges to whichever fiber is actually driving the endpoint.
+  [[nodiscard]] sim::Process& process() const override {
+    if (sim::Process* cur = sim::Process::current()) return *cur;
+    return *proc_;
+  }
+  /// The schedule executor for this rank's collectives.
+  [[nodiscard]] coll::CollEngine& coll_engine() { return *coll_engine_; }
   [[nodiscard]] sim::Simulator& simulator() const override { return sim_; }
   [[nodiscard]] const Config& config() const override { return cfg_; }
 
@@ -118,6 +134,7 @@ class Endpoint final : public ChannelHost {
   std::unique_ptr<ShmChannel> shm_;
   std::unique_ptr<FastPathChannel> fast_path_;
   std::unique_ptr<Rendezvous> rndv_;
+  std::unique_ptr<coll::CollEngine> coll_engine_;
 
   sim::Server cpu_;  ///< serialized host-CPU time for event-context protocol work
   sim::Waitable progress_;

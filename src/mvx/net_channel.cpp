@@ -165,10 +165,17 @@ void NetChannel::send(int peer_rank, CommKind kind, const void* buf, std::int64_
                       int ctx, const Request& req) {
   Peer& c = peer(peer_rank);
   const Config& cfg = host_.config();
-  Schedule s = choose_schedule(cfg.policy, kind, bytes, static_cast<int>(c.rails.size()),
-                               cfg.stripe_threshold, c.cursor);
-  int rail = s.stripe ? 0 : s.rail;  // eager never stripes
-  if (cfg.policy == Policy::Adaptive) rail = least_loaded_rail(rail_outstanding(peer_rank));
+  int rail;
+  if (req->lane >= 0) {
+    // Multi-lane collective transfer: pinned to its lane's rail, bypassing
+    // the policy (and leaving the policy's cursor undisturbed).
+    rail = req->lane % static_cast<int>(c.rails.size());
+  } else {
+    Schedule s = choose_schedule(cfg.policy, kind, bytes, static_cast<int>(c.rails.size()),
+                                 cfg.stripe_threshold, c.cursor);
+    rail = s.stripe ? 0 : s.rail;  // eager never stripes
+    if (cfg.policy == Policy::Adaptive) rail = least_loaded_rail(rail_outstanding(peer_rank));
+  }
 
   int bounce = acquire_bounce_and_credit(c, rail);
   host_.process().compute(cfg.post_cpu +

@@ -138,8 +138,6 @@ void Rendezvous::start_writes(int peer, const Request& req, const MsgHeader& cts
   const Config& cfg = host_.config();
   const std::int64_t bytes = req->bytes;
   const int nrails = net_.nrails(peer);
-  Schedule s = choose_schedule(cfg.policy, static_cast<CommKind>(req->kind), bytes, nrails,
-                               cfg.stripe_threshold, net_.cursor(peer));
 
   struct Stripe {
     int rail;
@@ -147,6 +145,14 @@ void Rendezvous::start_writes(int peer, const Request& req, const MsgHeader& cts
     std::int64_t len;
   };
   std::vector<Stripe> stripes;
+  if (req->lane >= 0) {
+    // Multi-lane collective transfer: one un-striped write on the lane's
+    // rail, bypassing the policy and leaving its cursor undisturbed (the
+    // lanes themselves are the striping).
+    stripes.push_back({req->lane % nrails, 0, bytes});
+  } else {
+  Schedule s = choose_schedule(cfg.policy, static_cast<CommKind>(req->kind), bytes, nrails,
+                               cfg.stripe_threshold, net_.cursor(peer));
   if (s.stripe && bytes > 0) {
     // Striping over all rails (never cutting below min_stripe); stripe sizes
     // follow the configured rail weights for WeightedStriping, equal shares
@@ -175,6 +181,7 @@ void Rendezvous::start_writes(int peer, const Request& req, const MsgHeader& cts
     stripes.push_back({least_loaded_rail(net_.rail_outstanding(peer)), 0, bytes});
   } else {
     stripes.push_back({s.rail, 0, bytes});
+  }
   }
 
   sim::Time cost = cfg.ctl_cpu;

@@ -31,6 +31,7 @@ struct RequestState {
   int tag = -1;
   int ctx = 0;
   std::uint8_t kind = 0;        ///< CommKind, recorded by the marker at start
+  int lane = -1;                ///< multi-lane rail pin (lane % nrails); -1 = policy decides
   int pending_writes = 0;       ///< outstanding rendezvous stripe writes
   std::uint64_t peer_cookie = 0;///< the other side's request cookie
 };

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "ib/hca.hpp"
+#include "mvx/coll/engine.hpp"
 #include "sim/time.hpp"
 
 namespace ib12x::mvx {
@@ -77,10 +78,20 @@ void World::run(const std::function<void(Communicator&)>& rank_main) {
 
   for (int r = 0; r < ranks(); ++r) {
     Endpoint* ep = eps_[static_cast<std::size_t>(r)].get();
+    ep->coll_engine().begin_run();
     procs.add("rank" + std::to_string(r), [this, ep, group, &rank_main](sim::Process& p) {
       ep->attach_process(&p);
       Communicator comm(this, ep, group, ep->rank(), /*ctx_base=*/0);
       rank_main(comm);
+      // Rank code is done: let the collective-progress fiber drain any
+      // schedules still in flight, then exit.
+      ep->coll_engine().request_shutdown();
+    });
+    // The rank's collective-progress fiber: models the asynchronous progress
+    // thread that advances in-flight collective schedules while the rank's
+    // own fiber computes or waits.
+    procs.add("collprog" + std::to_string(r), [ep](sim::Process& p) {
+      ep->coll_engine().progress_main(p);
     });
   }
   procs.run_all(sim_.now());

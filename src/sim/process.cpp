@@ -52,10 +52,15 @@ void Process::fiber_main() {
   // Falling off the end returns control to the driver (Fiber::run_body).
 }
 
+Process* Process::current_ = nullptr;
+
 void Process::resume() {
   state_ = State::Running;
   sim_.note_fiber_switches(2);  // in and back out
+  Process* prev = current_;  // always nullptr: fibers resume only from the driver
+  current_ = this;
   fiber_.resume();
+  current_ = prev;
 }
 
 void Process::suspend_to_driver() {

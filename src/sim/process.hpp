@@ -54,6 +54,14 @@ class Process {
   /// Schedules the first activation at absolute time `when`.
   void start(Time when = 0);
 
+  /// The process whose fiber is currently executing, or nullptr from
+  /// event/driver context.  Exactly one fiber runs at a time, so a single
+  /// pointer suffices; code that can run on behalf of more than one fiber
+  /// (e.g. the endpoint's send path, used by both the rank's main process
+  /// and its collective-progress process) uses this to charge CPU to the
+  /// right one.
+  [[nodiscard]] static Process* current() { return current_; }
+
   [[nodiscard]] int id() const { return id_; }
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] bool finished() const { return state_ == State::Finished; }
@@ -107,6 +115,8 @@ class Process {
   State state_ = State::Created;
   std::exception_ptr error_;
   Fiber fiber_;
+
+  static Process* current_;
 };
 
 /// Owns a set of processes and drives them to completion.

@@ -11,12 +11,12 @@
 namespace ib12x::mvx {
 namespace {
 
-using A2A = Config::AlltoallAlgo;
-using AR = Config::AllreduceAlgo;
+using A2A = coll::AlltoallAlgo;
+using AR = coll::AllreduceAlgo;
 
 std::vector<std::int32_t> run_alltoall(A2A algo, ClusterSpec spec, std::size_t per_ints) {
   Config cfg = Config::enhanced(4, Policy::EPC);
-  cfg.alltoall_algo = algo;
+  cfg.coll.alltoall_algo = algo;
   World w(spec, cfg);
   std::vector<std::int32_t> rank0;
   w.run([&](Communicator& c) {
@@ -55,7 +55,7 @@ TEST(CollAlgo, BruckMatchesPairwise) {
 TEST(CollAlgo, BruckFasterForTinyBlocksAtEightRanks) {
   auto timed = [](A2A algo) {
     Config cfg = Config::enhanced(4, Policy::EPC);
-    cfg.alltoall_algo = algo;
+    cfg.coll.alltoall_algo = algo;
     World w(ClusterSpec{2, 4}, cfg);
     sim::Time end = 0;
     w.run([&](Communicator& c) {
@@ -71,7 +71,7 @@ TEST(CollAlgo, BruckFasterForTinyBlocksAtEightRanks) {
 
 double run_allreduce(AR algo, ClusterSpec spec, std::size_t n, sim::Time* elapsed) {
   Config cfg = Config::enhanced(4, Policy::EPC);
-  cfg.allreduce_algo = algo;
+  cfg.coll.allreduce_algo = algo;
   World w(spec, cfg);
   double sample = 0;
   w.run([&](Communicator& c) {
