@@ -36,6 +36,28 @@ void QueuePair::post_send(const SendWr& wr) {
   }
   sq_.push_back(wr);
   ++send_wqes_posted_;
+  ++doorbells_;
+  if (!scheduled_) port_->notify_ready(this);
+}
+
+void QueuePair::post_send_deferred(const SendWr& wr) {
+  if (peer_ == nullptr) throw std::logic_error("QueuePair::post_send_deferred: QP not connected");
+  if (static_cast<int>(sq_.size() + deferred_.size()) >= port_->hca().params().max_send_wqes) {
+    throw std::runtime_error("QueuePair::post_send_deferred: send queue full (qp " +
+                             std::to_string(num_) + ")");
+  }
+  if (wr.length > 0 && wr.src == nullptr) {
+    throw std::logic_error("QueuePair::post_send_deferred: null source with non-zero length");
+  }
+  deferred_.push_back(wr);
+  ++send_wqes_posted_;
+}
+
+void QueuePair::ring_doorbell() {
+  if (deferred_.empty()) return;
+  for (auto& wr : deferred_) sq_.push_back(wr);
+  deferred_.clear();
+  ++doorbells_;
   if (!scheduled_) port_->notify_ready(this);
 }
 

@@ -57,6 +57,16 @@ class QueuePair {
   void post_send(const SendWr& wr);
   void post_recv(const RecvWr& wr);
 
+  /// Doorbell batching: appends a WQE to the send queue WITHOUT ringing the
+  /// doorbell — the hardware scheduler does not see it until ring_doorbell().
+  /// Callers must ring before returning to the event loop; the batch is the
+  /// set of WQEs built between two doorbells (MVAPICH-style list posting,
+  /// one uncached-MMIO write per batch instead of per WQE).
+  void post_send_deferred(const SendWr& wr);
+  /// Publishes every deferred WQE to the hardware scheduler.  No-op when
+  /// nothing is deferred; counts one doorbell otherwise.
+  void ring_doorbell();
+
   [[nodiscard]] QpNum num() const { return num_; }
   [[nodiscard]] Port& port() const { return *port_; }
   [[nodiscard]] QueuePair* peer() const { return peer_; }
@@ -66,6 +76,7 @@ class QueuePair {
 
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
   [[nodiscard]] std::uint64_t send_wqes_posted() const { return send_wqes_posted_; }
+  [[nodiscard]] std::uint64_t doorbells() const { return doorbells_; }
   [[nodiscard]] std::size_t send_queue_depth() const { return sq_.size(); }
 
  private:
@@ -91,11 +102,15 @@ class QueuePair {
 
   std::deque<SendWr> sq_;
   std::deque<RecvWr> rq_;
+  /// WQEs built but not yet published (between post_send_deferred and
+  /// ring_doorbell).  Kept out of sq_ so the scheduler cannot service them.
+  std::deque<SendWr> deferred_;
   /// True while the QP sits in the port's ready queue or an engine services it.
   bool scheduled_ = false;
 
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t send_wqes_posted_ = 0;
+  std::uint64_t doorbells_ = 0;
 };
 
 /// One 12x port: link servers, DMA engine pools, hardware send scheduler.
@@ -195,6 +210,13 @@ class Hca {
   [[nodiscard]] std::uint64_t total_bytes_tx() const {
     std::uint64_t n = 0;
     for (const auto& p : ports_) n += p->bytes_tx();
+    return n;
+  }
+  /// Telemetry: doorbells rung across all QPs (each plain post_send is one
+  /// doorbell; a deferred batch counts one regardless of its WQE count).
+  [[nodiscard]] std::uint64_t total_doorbells() const {
+    std::uint64_t n = 0;
+    for (const auto& qp : qps_) n += qp->doorbells();
     return n;
   }
   [[nodiscard]] sim::Time total_send_engine_busy() const {

@@ -62,13 +62,41 @@ struct Config {
   int eager_credits = 64;                    ///< preposted recv buffers per rail
   int send_bounce_bufs = 256;                ///< sender-side eager bounce pool
 
+  /// Pipelined zero-copy rendezvous (MVAPICH-lineage pipelined rendezvous,
+  /// Liu et al.): the receiver registers the target buffer in
+  /// `rndv_pipeline_chunk` pieces and streams one CTS per chunk as its
+  /// registration completes, so the sender's first RDMA write departs while
+  /// later chunks are still being pinned; the sender registers its own side
+  /// chunk by chunk and posts each chunk's stripes as one doorbell-batched
+  /// batch.  Off (the default) reproduces the one-shot RTS/CTS/FIN protocol
+  /// bit-for-bit, including its exact-pointer registration-cache semantics.
+  bool rndv_pipeline = false;
+  std::int64_t rndv_pipeline_chunk = 64 * 1024;  ///< per-CTS registration chunk
+
+  /// Pin-down cache byte budget (registered rendezvous buffers kept resident
+  /// for reuse).  0 = unlimited (never evict — the legacy behaviour).  When
+  /// exceeded, least-recently-used unpinned regions are deregistered and
+  /// `rndv.reg_cache_evictions` counts them.
+  std::int64_t reg_cache_capacity = 0;
+
   // ---- software costs (MVAPICH-era, Power6) -------------------------------
   sim::Time post_cpu = sim::nanoseconds(700);      ///< build WQE + ring doorbell (uncached MMIO)
+  /// Doorbell-batched posting (pipelined rendezvous only): each WQE costs
+  /// wqe_build_cpu and the uncached-MMIO doorbell is paid once per batch.
+  /// wqe_build_cpu + doorbell_cpu == post_cpu keeps a 1-stripe batch
+  /// identical to the legacy per-stripe cost.
+  sim::Time wqe_build_cpu = sim::nanoseconds(250);
+  sim::Time doorbell_cpu = sim::nanoseconds(450);
   sim::Time cqe_sw = sim::nanoseconds(750);        ///< poll + process one completion
   sim::Time match_cpu = sim::nanoseconds(450);     ///< per-message header processing / matching
   sim::Time ctl_cpu = sim::nanoseconds(300);       ///< control (RTS/CTS/FIN) handling
-  sim::Time reg_cache_miss = sim::nanoseconds(450);///< rendezvous buffer registration
+  sim::Time reg_cache_miss = sim::nanoseconds(450);///< rendezvous buffer registration (flat part)
   sim::Time reg_cache_hit = sim::nanoseconds(50);
+  /// Per-4-KiB-page pin cost added to a registration miss.  0 (the default)
+  /// keeps the seed's flat registration model; the rendezvous-pipeline
+  /// ablation raises it to the MVAPICH-era measured ~150 ns/page to expose
+  /// what chunked registration actually hides.
+  sim::Time reg_page_cpu = 0;
   double memcpy_gbps = 2.6;                        ///< host memcpy rate for eager copies
 
   // ---- shared-memory channel (intra-node) ---------------------------------

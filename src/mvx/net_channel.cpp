@@ -118,6 +118,8 @@ int NetChannel::nrails(int peer_rank) const {
 
 RailCursor& NetChannel::cursor(int peer_rank) { return peer(peer_rank).cursor; }
 
+RailCursor& NetChannel::ctl_cursor(int peer_rank) { return peer(peer_rank).ctl; }
+
 std::vector<std::int64_t> NetChannel::rail_outstanding(int peer_rank) const {
   const Peer& c = peer(peer_rank);
   std::vector<std::int64_t> out;
@@ -210,11 +212,16 @@ void NetChannel::send_ctl_blocking(int peer_rank, int rail, const MsgHeader& hdr
 
 void NetChannel::send_ctl(int peer_rank, const MsgHeader& hdr, const CtsRkeys& rkeys) {
   Peer& c = peer(peer_rank);
-  // Pick the first rail (starting at the cursor) with a credit.
+  // Pick the first rail (starting at the cursor) with a credit.  In pipeline
+  // mode control traffic rotates its own cursor; the legacy protocol scans
+  // from the data cursor without advancing it (historical placement, kept
+  // for bit-identical legacy figures).
+  const bool own_cursor = host_.config().rndv_pipeline;
   const int n = static_cast<int>(c.rails.size());
+  const int start = own_cursor ? c.ctl.next : c.cursor.next;
   int rail = -1;
   for (int i = 0; i < n; ++i) {
-    int cand = (c.cursor.next + i) % n;
+    int cand = (start + i) % n;
     if (c.rails[static_cast<std::size_t>(cand)].credits > 0) {
       rail = cand;
       break;
@@ -224,6 +231,7 @@ void NetChannel::send_ctl(int peer_rank, const MsgHeader& hdr, const CtsRkeys& r
     c.pending_ctl.emplace_back(hdr, rkeys);
     return;
   }
+  if (own_cursor) c.ctl.next = (rail + 1) % n;
   --c.rails.at(static_cast<std::size_t>(rail)).credits;  // reserve
   int bounce = free_bounce_.back();
   free_bounce_.pop_back();
@@ -245,8 +253,7 @@ void NetChannel::flush_pending_ctl(int peer_rank) {
 
 // ------------------------------------------------------- rendezvous writes
 
-void NetChannel::post_write(int peer_rank, const RndvStripe& st) {
-  Peer& c = peer(peer_rank);
+void NetChannel::post_write_impl(Peer& c, int peer_rank, const RndvStripe& st, bool deferred) {
   Rail& r = c.rails.at(static_cast<std::size_t>(st.rail));
   auto* sctx = new SendCtx{SendCtx::Kind::RndvWrite, peer_rank, st.rail, -1, st.req_id, st.len};
   r.outstanding += st.len;
@@ -258,7 +265,25 @@ void NetChannel::post_write(int peer_rank, const RndvStripe& st) {
   wr.lkey = st.len > 0 ? st.lkeys[static_cast<std::size_t>(r.hca_index)] : 0;
   wr.remote_addr = st.raddr;
   wr.rkey = st.rkeys.rkey[r.hca_index];
-  r.qp->post_send(wr);
+  if (deferred) {
+    r.qp->post_send_deferred(wr);
+  } else {
+    r.qp->post_send(wr);
+  }
+}
+
+void NetChannel::post_write(int peer_rank, const RndvStripe& st) {
+  post_write_impl(peer(peer_rank), peer_rank, st, /*deferred=*/false);
+}
+
+void NetChannel::post_write_batch(int peer_rank, const std::vector<RndvStripe>& sts) {
+  Peer& c = peer(peer_rank);
+  for (const RndvStripe& st : sts) post_write_impl(c, peer_rank, st, /*deferred=*/true);
+  // One doorbell per involved rail, in stripe order (a rail appearing twice
+  // still rings once — the whole point of list posting).
+  for (const RndvStripe& st : sts) {
+    c.rails.at(static_cast<std::size_t>(st.rail)).qp->ring_doorbell();
+  }
 }
 
 // ------------------------------------------------------- fast-path posting

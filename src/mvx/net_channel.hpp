@@ -53,6 +53,11 @@ class NetChannel final : public Channel {
 
   [[nodiscard]] int nrails(int peer) const;
   [[nodiscard]] RailCursor& cursor(int peer);
+  /// Dedicated round-robin cursor for control traffic (RTS/CTS/FIN) so it
+  /// spreads over the rails without disturbing the data cursor.  Only
+  /// consulted when Config::rndv_pipeline is on; the legacy protocol keeps
+  /// its historical placement (a non-advancing copy of the data cursor).
+  [[nodiscard]] RailCursor& ctl_cursor(int peer);
   /// Per-rail outstanding bytes (the gauge the Adaptive policy balances on).
   [[nodiscard]] std::vector<std::int64_t> rail_outstanding(int peer) const;
 
@@ -68,6 +73,10 @@ class NetChannel final : public Channel {
     CtsRkeys rkeys;
   };
   void post_write(int peer, const RndvStripe& st);
+  /// Posts a chunk's stripes as one doorbell batch: every WQE is built and
+  /// appended deferred, then each involved rail's doorbell rings once
+  /// (QueuePair::post_send_deferred / ring_doorbell).
+  void post_write_batch(int peer, const std::vector<RndvStripe>& sts);
 
   // ---- services for the fast-path channel (rides rail 0) ----
 
@@ -104,6 +113,7 @@ class NetChannel final : public Channel {
   struct Peer {
     std::vector<Rail> rails;
     RailCursor cursor;
+    RailCursor ctl;  ///< control-traffic cursor (rndv_pipeline mode)
     /// Control messages waiting for rail credit.
     std::deque<std::pair<MsgHeader, CtsRkeys>> pending_ctl;
   };
@@ -130,6 +140,9 @@ class NetChannel final : public Channel {
   /// agnostic.
   void post_eager(Peer& c, int peer_rank, int rail, int bounce, const MsgHeader& hdr,
                   const void* payload, std::int64_t bytes);
+  /// Builds the SendWr for one rendezvous stripe; deferred WQEs need an
+  /// explicit ring_doorbell on the rail's QP afterwards.
+  void post_write_impl(Peer& c, int peer_rank, const RndvStripe& st, bool deferred);
   void flush_pending_ctl(int peer_rank);
 
   void on_send_cqe(const ib::Wc& wc);

@@ -13,6 +13,29 @@
 
 namespace ib12x::mvx {
 
+namespace {
+
+/// Stripe-write req_ids carry the chunk index in the top 16 bits so the
+/// completion path can retire pipelined chunks individually; legacy writes
+/// use the bare cookie (cookies are sequential and never reach 2^48).
+constexpr std::uint64_t kCookieMask = (std::uint64_t{1} << 48) - 1;
+
+std::uint64_t chunk_req_id(std::uint64_t cookie, std::uint32_t chunk) {
+  return cookie | (static_cast<std::uint64_t>(chunk) << 48);
+}
+
+std::int64_t chunk_bytes(const Config& cfg, std::int64_t total) {
+  return cfg.rndv_pipeline_chunk > 0 ? cfg.rndv_pipeline_chunk : total;
+}
+
+std::uint32_t chunk_count(const Config& cfg, std::int64_t total) {
+  if (total <= 0) return 1;  // zero-byte rendezvous still needs one CTS
+  const std::int64_t c = chunk_bytes(cfg, total);
+  return static_cast<std::uint32_t>((total + c - 1) / c);
+}
+
+}  // namespace
+
 Rendezvous::Rendezvous(ChannelHost& host, NetChannel& net)
     : host_(host),
       net_(net),
@@ -20,7 +43,22 @@ Rendezvous::Rendezvous(ChannelHost& host, NetChannel& net)
       bytes_sent_(host.telemetry().counter("rndv.bytes_sent")),
       stripes_posted_(host.telemetry().counter("rndv.stripes_posted")),
       reg_hits_(host.telemetry().counter("rndv.reg_cache_hits")),
-      reg_misses_(host.telemetry().counter("rndv.reg_cache_misses")) {}
+      reg_misses_(host.telemetry().counter("rndv.reg_cache_misses")),
+      reg_evictions_(host.telemetry().counter("rndv.reg_cache_evictions")),
+      cts_chunks_(host.telemetry().counter("rndv.cts_chunks")),
+      pipeline_depth_(host.telemetry().counter("rndv.pipeline_depth")) {
+  const Config& cfg = host.config();
+  PinCache::Options opts;
+  opts.interval = cfg.rndv_pipeline;  // legacy mode keeps exact-pointer semantics
+  opts.capacity = cfg.reg_cache_capacity;
+  opts.hit_cpu = cfg.reg_cache_hit;
+  opts.miss_cpu = cfg.reg_cache_miss;
+  opts.page_cpu = cfg.reg_page_cpu;
+  pin_cache_ = std::make_unique<PinCache>(net.hcas(), opts, reg_hits_, reg_misses_,
+                                          reg_evictions_);
+}
+
+Rendezvous::~Rendezvous() = default;
 
 // ----------------------------------------------------------------- cookies
 
@@ -48,41 +86,24 @@ Request Rendezvous::peek_cookie(std::uint64_t id) {
   return it->second;
 }
 
-// -------------------------------------------------------------- reg cache
-
-const Rendezvous::RegEntry& Rendezvous::register_cached(const void* buf, std::int64_t bytes,
-                                                        sim::Time* cpu_cost) {
-  const Config& cfg = host_.config();
-  auto it = reg_cache_.find(buf);
-  if (it != reg_cache_.end()) {
-    // A cached entry that is too small must be (cheaply) re-registered.
-    if (it->second.mr[0].length >= static_cast<std::uint64_t>(bytes)) {
-      *cpu_cost += cfg.reg_cache_hit;
-      reg_hits_.inc();
-      return it->second;
-    }
-    reg_cache_.erase(it);
-  }
-  RegEntry entry;
-  const std::vector<ib::Hca*>& hcas = net_.hcas();
-  for (std::size_t h = 0; h < hcas.size(); ++h) {
-    entry.mr[h] = hcas[h]->mem().register_memory(const_cast<void*>(buf),
-                                                 static_cast<std::size_t>(bytes));
-  }
-  *cpu_cost += cfg.reg_cache_miss;
-  reg_misses_.inc();
-  return reg_cache_.emplace(buf, entry).first->second;
-}
-
 // ---------------------------------------------------------------- protocol
 
 void Rendezvous::send_rts(int peer, CommKind kind, const void* /*buf*/, std::int64_t bytes,
                           int tag, int ctx, const Request& req) {
+  const Config& cfg = host_.config();
   // Control messages round-robin over rails; the data schedule is decided at
   // CTS time by the marker-driven policy.
-  RailCursor ctl_cursor = net_.cursor(peer);  // do not disturb the data cursor
-  Schedule s = choose_schedule(Policy::RoundRobin, kind, 0, net_.nrails(peer),
-                               host_.config().stripe_threshold, ctl_cursor);
+  Schedule s;
+  if (cfg.rndv_pipeline) {
+    // Control traffic owns its own per-peer cursor so RTSes rotate over the
+    // rails instead of pinning to wherever the data cursor happens to sit.
+    s = choose_schedule(Policy::RoundRobin, kind, 0, net_.nrails(peer), cfg.stripe_threshold,
+                        net_.ctl_cursor(peer));
+  } else {
+    RailCursor ctl_cursor = net_.cursor(peer);  // do not disturb the data cursor
+    s = choose_schedule(Policy::RoundRobin, kind, 0, net_.nrails(peer), cfg.stripe_threshold,
+                        ctl_cursor);
+  }
 
   MsgHeader hdr;
   hdr.type = MsgType::Rts;
@@ -93,6 +114,9 @@ void Rendezvous::send_rts(int peer, CommKind kind, const void* /*buf*/, std::int
   hdr.seq = host_.matcher().next_send_seq(peer, ctx);
   hdr.size = static_cast<std::uint64_t>(bytes);
   hdr.sender_cookie = new_cookie(req);
+  if (cfg.rndv_pipeline) {
+    send_progress_[hdr.sender_cookie].chunks_total = chunk_count(cfg, bytes);
+  }
   net_.send_ctl_blocking(peer, s.rail, hdr);
   rts_sent_.inc();
   bytes_sent_.add(static_cast<std::uint64_t>(bytes));
@@ -103,58 +127,101 @@ void Rendezvous::accept(const MsgHeader& rts, const Request& req) {
   req->peer = rts.src_rank;
 
   const Config& cfg = host_.config();
-  sim::Time cost = 0;
-  CtsRkeys rkeys;
-  if (rts.size > 0) {
-    const RegEntry& reg =
-        register_cached(req->recv_buf, static_cast<std::int64_t>(rts.size), &cost);
-    for (std::size_t h = 0; h < net_.hcas().size(); ++h) rkeys.rkey[h] = reg.mr[h].rkey;
+  const int peer = rts.src_rank;
+  const std::int64_t total = static_cast<std::int64_t>(rts.size);
+
+  if (!cfg.rndv_pipeline) {
+    // One-shot protocol: pin the whole target buffer, then a single CTS.
+    sim::Time cost = 0;
+    CtsRkeys rkeys;
+    const std::uint64_t rcookie = new_cookie(req);
+    if (total > 0) {
+      PinCache::Region* reg = pin_cache_->acquire(req->recv_buf, total, &cost);
+      recv_progress_[rcookie].pins.push_back(reg);
+      for (std::size_t h = 0; h < net_.hcas().size(); ++h) rkeys.rkey[h] = reg->mr[h].rkey;
+    }
+
+    MsgHeader cts;
+    cts.type = MsgType::Cts;
+    cts.src_rank = host_.rank();
+    cts.ctx = rts.ctx;
+    cts.size = rts.size;
+    cts.sender_cookie = rts.sender_cookie;
+    cts.receiver_cookie = rcookie;
+    cts.raddr = reinterpret_cast<std::uint64_t>(req->recv_buf);
+
+    host_.schedule_cpu(cost + cfg.ctl_cpu + cfg.post_cpu,
+                       [this, peer, cts, rkeys] { net_.send_ctl(peer, cts, rkeys); });
+    return;
   }
 
-  MsgHeader cts;
-  cts.type = MsgType::Cts;
-  cts.src_rank = host_.rank();
-  cts.ctx = rts.ctx;
-  cts.size = rts.size;
-  cts.sender_cookie = rts.sender_cookie;
-  cts.receiver_cookie = new_cookie(req);
-  cts.raddr = reinterpret_cast<std::uint64_t>(req->recv_buf);
+  // Pipelined protocol: pin the target buffer chunk by chunk, streaming one
+  // CTS as each chunk's registration completes.  The schedule_cpu calls
+  // serialize on this rank's CPU, so CTS k departs after the cumulative
+  // registration cost of chunks 0..k — the sender's first write overlaps the
+  // pinning of everything after chunk 0.
+  const std::uint64_t rcookie = new_cookie(req);
+  RecvProgress& rp = recv_progress_[rcookie];
+  const std::int64_t csz = chunk_bytes(cfg, total);
+  const std::uint32_t nchunks = chunk_count(cfg, total);
+  const std::uint64_t base = reinterpret_cast<std::uint64_t>(req->recv_buf);
+  for (std::uint32_t i = 0; i < nchunks; ++i) {
+    const std::int64_t off = static_cast<std::int64_t>(i) * csz;
+    const std::int64_t len = total > 0 ? std::min<std::int64_t>(csz, total - off) : 0;
+    sim::Time cost = (i == 0 ? cfg.ctl_cpu : 0) + cfg.post_cpu;
+    CtsRkeys rkeys;
+    if (len > 0) {
+      PinCache::Region* reg = pin_cache_->acquire(
+          reinterpret_cast<const void*>(base + static_cast<std::uint64_t>(off)), len, &cost);
+      rp.pins.push_back(reg);
+      for (std::size_t h = 0; h < net_.hcas().size(); ++h) rkeys.rkey[h] = reg->mr[h].rkey;
+    }
 
-  const int peer = rts.src_rank;
-  host_.schedule_cpu(cost + cfg.ctl_cpu + cfg.post_cpu,
-                     [this, peer, cts, rkeys] { net_.send_ctl(peer, cts, rkeys); });
+    MsgHeader cts;
+    cts.type = MsgType::Cts;
+    cts.src_rank = host_.rank();
+    cts.ctx = rts.ctx;
+    cts.size = static_cast<std::uint64_t>(len);
+    cts.sender_cookie = rts.sender_cookie;
+    cts.receiver_cookie = rcookie;
+    cts.raddr = base + static_cast<std::uint64_t>(off);
+    cts.chunk = i;
+    host_.schedule_cpu(cost, [this, peer, cts, rkeys] { net_.send_ctl(peer, cts, rkeys); });
+  }
 }
 
 void Rendezvous::on_cts(const MsgHeader& hdr, const CtsRkeys& rkeys) {
   Request req = peek_cookie(hdr.sender_cookie);
-  IB12X_DEBUG(host_.simulator().now(), "rank%d: CTS for cookie %llu size %llu", host_.rank(),
-              (unsigned long long)hdr.sender_cookie, (unsigned long long)hdr.size);
+  IB12X_DEBUG(host_.simulator().now(), "rank%d: CTS for cookie %llu size %llu chunk %u",
+              host_.rank(), (unsigned long long)hdr.sender_cookie, (unsigned long long)hdr.size,
+              (unsigned)hdr.chunk);
   req->peer_cookie = hdr.receiver_cookie;
-  start_writes(req->peer, req, hdr, rkeys);
+  if (send_progress_.count(hdr.sender_cookie) != 0) {
+    start_chunk_writes(req->peer, req, hdr, rkeys);
+  } else {
+    start_writes(req->peer, req, hdr, rkeys);
+  }
 }
 
-void Rendezvous::start_writes(int peer, const Request& req, const MsgHeader& cts,
-                              const CtsRkeys& rkeys) {
+std::vector<Rendezvous::Stripe> Rendezvous::plan_stripes(int peer, const Request& req,
+                                                         std::int64_t base_off,
+                                                         std::int64_t bytes) {
   const Config& cfg = host_.config();
-  const std::int64_t bytes = req->bytes;
   const int nrails = net_.nrails(peer);
 
-  struct Stripe {
-    int rail;
-    std::int64_t offset;
-    std::int64_t len;
-  };
   std::vector<Stripe> stripes;
   if (req->lane >= 0) {
     // Multi-lane collective transfer: one un-striped write on the lane's
     // rail, bypassing the policy and leaving its cursor undisturbed (the
     // lanes themselves are the striping).
-    stripes.push_back({req->lane % nrails, 0, bytes});
-  } else {
+    stripes.push_back({req->lane % nrails, base_off, bytes});
+    return stripes;
+  }
+
   Schedule s = choose_schedule(cfg.policy, static_cast<CommKind>(req->kind), bytes, nrails,
                                cfg.stripe_threshold, net_.cursor(peer));
   if (s.stripe && bytes > 0) {
-    // Striping over all rails (never cutting below min_stripe); stripe sizes
+    // Striping over the rails (never cutting below min_stripe); stripe sizes
     // follow the configured rail weights for WeightedStriping, equal shares
     // otherwise.
     const int n = static_cast<int>(std::min<std::int64_t>(
@@ -168,27 +235,58 @@ void Rendezvous::start_writes(int peer, const Request& req, const MsgHeader& cts
     }
     double wsum = 0;
     for (double x : w) wsum += x;
+
+    // When the message cuts into fewer stripes than rails, rotate the base
+    // rail through the peer's cursor so successive transfers spread over all
+    // rails instead of always hammering rails 0..n-1.
+    int base_rail = 0;
+    if (n < nrails) {
+      RailCursor& cur = net_.cursor(peer);
+      base_rail = cur.next % nrails;
+      cur.next = (base_rail + n) % nrails;
+    }
+
     std::int64_t off = 0;
     for (int i = 0; i < n; ++i) {
-      std::int64_t len = i + 1 == n
-                             ? bytes - off
-                             : static_cast<std::int64_t>(static_cast<double>(bytes) *
-                                                         w[static_cast<std::size_t>(i)] / wsum);
-      stripes.push_back({i, off, len});
+      const std::int64_t remaining = bytes - off;
+      const int left = n - i;
+      std::int64_t len;
+      if (i + 1 == n) {
+        len = remaining;
+      } else {
+        len = static_cast<std::int64_t>(static_cast<double>(bytes) *
+                                        w[static_cast<std::size_t>(i)] / wsum);
+        // Weight rounding must not produce sub-min_stripe (or zero/negative)
+        // cuts: clamp up to min_stripe and down so every remaining stripe
+        // can still get its minimum.  bytes >= n * min_stripe by the choice
+        // of n, so both bounds are always satisfiable.
+        len = std::max(len, cfg.min_stripe);
+        len = std::min(len, remaining - cfg.min_stripe * (left - 1));
+      }
+      stripes.push_back({(base_rail + i) % nrails, base_off + off, len});
       off += len;
     }
   } else if (cfg.policy == Policy::Adaptive) {
-    stripes.push_back({least_loaded_rail(net_.rail_outstanding(peer)), 0, bytes});
+    stripes.push_back({least_loaded_rail(net_.rail_outstanding(peer)), base_off, bytes});
   } else {
-    stripes.push_back({s.rail, 0, bytes});
+    stripes.push_back({s.rail, base_off, bytes});
   }
-  }
+  return stripes;
+}
+
+void Rendezvous::start_writes(int peer, const Request& req, const MsgHeader& cts,
+                              const CtsRkeys& rkeys) {
+  const Config& cfg = host_.config();
+  const std::int64_t bytes = req->bytes;
+
+  std::vector<Stripe> stripes = plan_stripes(peer, req, 0, bytes);
 
   sim::Time cost = cfg.ctl_cpu;
   std::array<ib::LKey, kMaxHcas> lkeys{};
   if (bytes > 0) {
-    const RegEntry& reg = register_cached(req->send_buf, bytes, &cost);
-    for (int h = 0; h < kMaxHcas; ++h) lkeys[static_cast<std::size_t>(h)] = reg.mr[h].lkey;
+    PinCache::Region* reg = pin_cache_->acquire(req->send_buf, bytes, &cost);
+    send_pins_[cts.sender_cookie] = reg;
+    for (int h = 0; h < kMaxHcas; ++h) lkeys[static_cast<std::size_t>(h)] = reg->mr[h].lkey;
   }
 
   req->pending_writes = static_cast<int>(stripes.size());
@@ -218,20 +316,105 @@ void Rendezvous::start_writes(int peer, const Request& req, const MsgHeader& cts
   }
 }
 
+void Rendezvous::start_chunk_writes(int peer, const Request& req, const MsgHeader& cts,
+                                    const CtsRkeys& rkeys) {
+  const Config& cfg = host_.config();
+  SendProgress& sp = send_progress_.at(cts.sender_cookie);
+  ++sp.cts_seen;
+  cts_chunks_.inc();
+
+  const std::int64_t off =
+      static_cast<std::int64_t>(cts.chunk) * chunk_bytes(cfg, req->bytes);
+  const std::int64_t len = static_cast<std::int64_t>(cts.size);
+
+  // Pin the sender-side chunk (overlapped with the receiver pinning later
+  // chunks), then build all of the chunk's stripe WQEs and ring one doorbell.
+  sim::Time cost = cfg.ctl_cpu;
+  std::array<ib::LKey, kMaxHcas> lkeys{};
+  if (len > 0) {
+    PinCache::Region* reg = pin_cache_->acquire(
+        static_cast<const std::byte*>(req->send_buf) + off, len, &cost);
+    sp.pins.push_back(reg);
+    for (int h = 0; h < kMaxHcas; ++h) lkeys[static_cast<std::size_t>(h)] = reg->mr[h].lkey;
+  }
+
+  std::vector<Stripe> stripes = plan_stripes(peer, req, off, len);
+  sp.chunk_writes[cts.chunk] = static_cast<int>(stripes.size());
+  pipeline_depth_.track_max(sp.chunk_writes.size());
+  stripes_posted_.add(stripes.size());
+
+  // Doorbell batching: per-stripe WQE build, one uncached-MMIO doorbell for
+  // the whole batch (instead of legacy's full post_cpu per stripe).
+  cost += cfg.wqe_build_cpu * static_cast<std::int64_t>(stripes.size()) + cfg.doorbell_cpu;
+
+  const std::uint64_t req_id = chunk_req_id(cts.sender_cookie, cts.chunk);
+  const std::uint64_t chunk_base = cts.raddr;
+  host_.schedule_cpu(cost, [this, peer, stripes = std::move(stripes), req_id, chunk_base, off,
+                            rkeys, lkeys] {
+    const std::uint64_t cookie = req_id & kCookieMask;
+    Request req = peek_cookie(cookie);
+    std::vector<NetChannel::RndvStripe> batch;
+    batch.reserve(stripes.size());
+    for (const Stripe& st : stripes) {
+      NetChannel::RndvStripe wr;
+      wr.rail = st.rail;
+      wr.src = static_cast<const std::byte*>(req->send_buf) + st.offset;
+      wr.len = st.len;
+      wr.raddr = chunk_base + static_cast<std::uint64_t>(st.offset - off);
+      wr.req_id = req_id;
+      wr.lkeys = lkeys;
+      wr.rkeys = rkeys;
+      batch.push_back(wr);
+    }
+    net_.post_write_batch(peer, batch);
+  });
+}
+
+void Rendezvous::finish_send(int peer, std::uint64_t cookie, const Request& req) {
+  // All stripes placed remotely (CQE implies remote visibility): tell the
+  // receiver and complete the local send.
+  MsgHeader fin;
+  fin.type = MsgType::Fin;
+  fin.src_rank = host_.rank();
+  fin.receiver_cookie = req->peer_cookie;
+  net_.send_ctl(peer, fin, CtsRkeys{});
+  outstanding_.erase(cookie);
+  host_.complete_request(req);
+}
+
 void Rendezvous::on_write_done(int peer, std::uint64_t req_id) {
-  Request req = peek_cookie(req_id);
-  IB12X_DEBUG(host_.simulator().now(), "rank%d: write CQE cookie %llu remaining %d", host_.rank(),
-              (unsigned long long)req_id, req->pending_writes - 1);
-  if (--req->pending_writes == 0) {
-    // All stripes placed remotely (CQE implies remote visibility): tell the
-    // receiver and complete the local send.
-    MsgHeader fin;
-    fin.type = MsgType::Fin;
-    fin.src_rank = host_.rank();
-    fin.receiver_cookie = req->peer_cookie;
-    net_.send_ctl(peer, fin, CtsRkeys{});
-    take_cookie(req_id);
-    host_.complete_request(req);
+  const std::uint64_t cookie = req_id & kCookieMask;
+  auto pit = send_progress_.find(cookie);
+  if (pit == send_progress_.end()) {
+    // Legacy one-shot protocol: a flat count of stripes in flight.
+    Request req = peek_cookie(req_id);
+    IB12X_DEBUG(host_.simulator().now(), "rank%d: write CQE cookie %llu remaining %d",
+                host_.rank(), (unsigned long long)req_id, req->pending_writes - 1);
+    if (--req->pending_writes == 0) {
+      auto sit = send_pins_.find(req_id);
+      if (sit != send_pins_.end()) {
+        pin_cache_->release(sit->second);
+        send_pins_.erase(sit);
+      }
+      finish_send(peer, req_id, req);
+    }
+    return;
+  }
+
+  SendProgress& sp = pit->second;
+  const auto chunk = static_cast<std::uint32_t>(req_id >> 48);
+  auto cit = sp.chunk_writes.find(chunk);
+  if (cit == sp.chunk_writes.end()) {
+    throw std::logic_error("Rendezvous: write CQE for unknown chunk");
+  }
+  if (--cit->second == 0) sp.chunk_writes.erase(cit);
+  if (sp.cts_seen == sp.chunks_total && sp.chunk_writes.empty()) {
+    Request req = peek_cookie(cookie);
+    IB12X_DEBUG(host_.simulator().now(), "rank%d: pipelined send %llu complete (%u chunks)",
+                host_.rank(), (unsigned long long)cookie, sp.chunks_total);
+    for (PinCache::Region* r : sp.pins) pin_cache_->release(r);
+    send_progress_.erase(pit);
+    finish_send(peer, cookie, req);
   }
 }
 
@@ -239,6 +422,11 @@ void Rendezvous::on_fin(const MsgHeader& hdr) {
   Request req = take_cookie(hdr.receiver_cookie);
   IB12X_DEBUG(host_.simulator().now(), "rank%d: FIN for cookie %llu", host_.rank(),
               (unsigned long long)hdr.receiver_cookie);
+  auto it = recv_progress_.find(hdr.receiver_cookie);
+  if (it != recv_progress_.end()) {
+    for (PinCache::Region* r : it->second.pins) pin_cache_->release(r);
+    recv_progress_.erase(it);
+  }
   host_.schedule_cpu(host_.config().ctl_cpu, [this, req] { host_.complete_request(req); });
 }
 

@@ -2,17 +2,31 @@
 // FIN (paper fig. 2's "rendezvous protocol" box plus the striping half of
 // the communication scheduler).
 //
-// Owns the sender/receiver cookie table, the registration cache for user
-// buffers, and stripe planning (even / weighted / adaptive splits).  Data
-// and control movement go through the NetChannel so rail credits and
+// Two protocol variants share this module, selected by Config::rndv_pipeline:
+//
+//  * one-shot (legacy, the default): the receiver registers the whole target
+//    buffer before replying with a single CTS, and the sender registers its
+//    whole buffer before posting every stripe with a full post_cpu each;
+//  * pipelined zero-copy: the receiver registers the buffer in
+//    rndv_pipeline_chunk pieces and streams one CTS per chunk as its
+//    registration completes, the sender registers chunk-by-chunk behind the
+//    arriving CTSes, and each chunk's stripes are posted as one
+//    doorbell-batched batch (k × wqe_build_cpu + one doorbell_cpu).
+//
+// Buffer pinning goes through the PinCache (exact-pointer semantics in
+// legacy mode, interval lookup + LRU eviction in pipelined mode).  Data and
+// control movement go through the NetChannel so rail credits and
 // outstanding-byte accounting stay in one place.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <vector>
 
 #include "ib/verbs.hpp"
 #include "mvx/channel.hpp"
+#include "mvx/pin_cache.hpp"
 #include "mvx/telemetry.hpp"
 
 namespace ib12x::mvx {
@@ -22,6 +36,7 @@ class NetChannel;
 class Rendezvous {
  public:
   Rendezvous(ChannelHost& host, NetChannel& net);
+  ~Rendezvous();
 
   Rendezvous(const Rendezvous&) = delete;
   Rendezvous& operator=(const Rendezvous&) = delete;
@@ -40,17 +55,44 @@ class Rendezvous {
   /// One stripe write completed on the wire (requester CQE, CPU charged).
   void on_write_done(int peer, std::uint64_t req_id);
 
- private:
-  /// Registration cache entry: per-HCA keys for one user buffer.
-  struct RegEntry {
-    ib::MemoryRegion mr[kMaxHcas];
+  /// One planned RDMA-write stripe (exposed for stripe-planning tests).
+  struct Stripe {
+    int rail;
+    std::int64_t offset;  ///< absolute offset into the message
+    std::int64_t len;
   };
 
-  /// Cache lookup; charges hit/miss cost to `*cpu_cost`.
-  const RegEntry& register_cached(const void* buf, std::int64_t bytes, sim::Time* cpu_cost);
+ private:
+  /// Sender-side pipeline state, keyed by sender cookie (only present while
+  /// Config::rndv_pipeline is driving the transfer).
+  struct SendProgress {
+    std::uint32_t chunks_total = 0;
+    std::uint32_t cts_seen = 0;
+    /// Per-chunk stripes still in flight; an entry disappears when its chunk
+    /// fully lands, and the map's size is the live pipeline depth.
+    std::map<std::uint32_t, int> chunk_writes;
+    std::vector<PinCache::Region*> pins;
+  };
+  /// Receiver-side pin bookkeeping, keyed by receiver cookie (both modes).
+  struct RecvProgress {
+    std::vector<PinCache::Region*> pins;
+  };
 
-  /// Sender side of CTS: plan stripes and post them through the channel.
+  /// Splits `bytes` at message offset `base_off` into rail stripes following
+  /// the configured policy (even/weighted/adaptive, multi-lane pinning).
+  /// Stripe lengths never fall below min_stripe and always sum to `bytes`;
+  /// when fewer stripes than rails are cut, the base rail rotates through
+  /// the peer's cursor so all rails see load.
+  std::vector<Stripe> plan_stripes(int peer, const Request& req, std::int64_t base_off,
+                                   std::int64_t bytes);
+
+  /// Sender side of CTS: register, plan stripes and post them.  Legacy mode
+  /// covers the whole message; pipelined mode runs once per chunk.
   void start_writes(int peer, const Request& req, const MsgHeader& cts, const CtsRkeys& rkeys);
+  void start_chunk_writes(int peer, const Request& req, const MsgHeader& cts,
+                          const CtsRkeys& rkeys);
+  /// Sends FIN and completes the local send request.
+  void finish_send(int peer, std::uint64_t cookie, const Request& req);
 
   std::uint64_t new_cookie(const Request& req);
   Request take_cookie(std::uint64_t id);
@@ -59,8 +101,11 @@ class Rendezvous {
   ChannelHost& host_;
   NetChannel& net_;
 
-  std::map<const void*, RegEntry> reg_cache_;
+  std::unique_ptr<PinCache> pin_cache_;
   std::map<std::uint64_t, Request> outstanding_;
+  std::map<std::uint64_t, SendProgress> send_progress_;
+  std::map<std::uint64_t, RecvProgress> recv_progress_;
+  std::map<std::uint64_t, PinCache::Region*> send_pins_;  ///< legacy-mode sender pins
   std::uint64_t next_cookie_ = 1;
 
   Counter& rts_sent_;
@@ -68,6 +113,9 @@ class Rendezvous {
   Counter& stripes_posted_;
   Counter& reg_hits_;
   Counter& reg_misses_;
+  Counter& reg_evictions_;
+  Counter& cts_chunks_;
+  Counter& pipeline_depth_;  ///< high-water mark of chunks in flight (track_max)
 };
 
 }  // namespace ib12x::mvx

@@ -24,13 +24,20 @@ struct MsgHeader {
   std::int32_t ctx = 0;          ///< communicator context id
   std::uint32_t seq = 0;         ///< per (pair, ctx) ordering number (Eager/Rts only)
   std::uint64_t size = 0;        ///< payload bytes (Eager) / full message size (Rts)
+                                 ///< / chunk bytes (pipelined Cts)
   std::uint64_t sender_cookie = 0;
   std::uint64_t receiver_cookie = 0;
-  std::uint64_t raddr = 0;       ///< Cts: receiver buffer address
+  std::uint64_t raddr = 0;       ///< Cts: receiver buffer address (chunk base when pipelined)
   std::uint32_t rkey = 0;        ///< Cts: receiver buffer rkey
+  std::uint32_t chunk = 0;       ///< pipelined Cts: chunk index within the message
 };
 
 inline constexpr std::size_t kHeaderBytes = sizeof(MsgHeader);
+
+// The chunk field must live in what used to be tail padding: growing the
+// header would change eager slot sizes and memcpy charges, breaking
+// byte-identity of the legacy (rndv_pipeline=off) protocol.
+static_assert(sizeof(MsgHeader) == 64, "MsgHeader grew: legacy wire timing would change");
 
 /// Hard cap on HCAs per node the wire format supports (CTS carries one rkey
 /// per HCA domain).

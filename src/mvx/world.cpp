@@ -40,6 +40,8 @@ World::World(ClusterSpec spec, Config cfg) : spec_(spec), cfg_(cfg) {
       tel_.gauge("ib.wqes_serviced",
                  [hca] { return static_cast<double>(hca->total_wqes_serviced()); });
       tel_.gauge("ib.bytes_tx", [hca] { return static_cast<double>(hca->total_bytes_tx()); });
+      tel_.gauge("hca.doorbells",
+                 [hca] { return static_cast<double>(hca->total_doorbells()); });
     }
   }
 

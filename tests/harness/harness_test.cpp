@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "harness/runner.hpp"
 #include "harness/table.hpp"
@@ -49,6 +51,37 @@ TEST(Pow2Sizes, SweepRange) {
   EXPECT_EQ(v, (std::vector<std::int64_t>{16, 32, 64, 128}));
   EXPECT_THROW(pow2_sizes(0, 8), std::invalid_argument);
   EXPECT_THROW(pow2_sizes(64, 16), std::invalid_argument);
+}
+
+TEST(TelemetryTable, ExposesRendezvousAndDoorbellCounters) {
+  // The per-layer telemetry table every bench prints must carry the
+  // rendezvous-pipeline counters and the HCA doorbell gauge, so bench output
+  // records pin-down-cache and batching behaviour alongside bandwidth.
+  mvx::Config cfg = mvx::Config::enhanced(4, mvx::Policy::EPC);
+  cfg.rndv_pipeline = true;
+  mvx::World w(mvx::ClusterSpec{2, 1}, cfg);
+  w.run([](mvx::Communicator& c) {
+    constexpr std::size_t kBytes = 1 << 20;
+    std::vector<std::byte> buf(kBytes);
+    if (c.rank() == 0) {
+      c.send(buf.data(), kBytes, mvx::BYTE, 1, 0);
+    } else {
+      c.recv(buf.data(), kBytes, mvx::BYTE, 0, 0);
+    }
+  });
+
+  const Table t = telemetry_table(w);
+  std::map<std::string, double> rows;
+  for (std::size_t i = 0; i < t.row_count(); ++i) rows[t.row_label(i)] = t.value(i, 0);
+  for (const char* name :
+       {"rndv.rts_sent", "rndv.bytes_sent", "rndv.stripes_posted", "rndv.reg_cache_hits",
+        "rndv.reg_cache_misses", "rndv.reg_cache_evictions", "rndv.cts_chunks",
+        "rndv.pipeline_depth", "hca.doorbells"}) {
+    ASSERT_TRUE(rows.count(name)) << name << " missing from telemetry table";
+  }
+  EXPECT_GT(rows["rndv.cts_chunks"], 0.0);
+  EXPECT_GT(rows["rndv.pipeline_depth"], 0.0);
+  EXPECT_GT(rows["hca.doorbells"], 0.0);
 }
 
 TEST(Runner, MeasurementsAreDeterministic) {

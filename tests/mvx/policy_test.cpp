@@ -75,6 +75,85 @@ TEST(Policy, SingleRailShortCircuits) {
   }
 }
 
+// Every {policy × kind × size} cell of the schedule table in one place:
+// sub-threshold, exactly-at-threshold, and large.  `RR` also asserts that
+// the shared per-peer cursor advances (and that Rail0/Stripe leave it
+// alone — striping must never consume a round-robin slot).
+enum class Want : std::uint8_t { Rail0, RR, Stripe };
+
+TEST(Policy, FullScheduleTable) {
+  constexpr auto B = CommKind::Blocking;
+  constexpr auto N = CommKind::Nonblocking;
+  constexpr auto C = CommKind::Collective;
+  struct Row {
+    Policy p;
+    CommKind k;
+    Want small, at_thresh, large;  // 1 KiB, 16 KiB, 1 MiB
+  };
+  constexpr Row kTable[] = {
+      {Policy::Binding, B, Want::Rail0, Want::Rail0, Want::Rail0},
+      {Policy::Binding, N, Want::Rail0, Want::Rail0, Want::Rail0},
+      {Policy::Binding, C, Want::Rail0, Want::Rail0, Want::Rail0},
+      {Policy::RoundRobin, B, Want::RR, Want::RR, Want::RR},
+      {Policy::RoundRobin, N, Want::RR, Want::RR, Want::RR},
+      {Policy::RoundRobin, C, Want::RR, Want::RR, Want::RR},
+      {Policy::EvenStriping, B, Want::Rail0, Want::Stripe, Want::Stripe},
+      {Policy::EvenStriping, N, Want::Rail0, Want::Stripe, Want::Stripe},
+      {Policy::EvenStriping, C, Want::Rail0, Want::Stripe, Want::Stripe},
+      {Policy::WeightedStriping, B, Want::Rail0, Want::Stripe, Want::Stripe},
+      {Policy::WeightedStriping, N, Want::Rail0, Want::Stripe, Want::Stripe},
+      {Policy::WeightedStriping, C, Want::Rail0, Want::Stripe, Want::Stripe},
+      // Adaptive resolves its real rail in the channel; bare calls are RR.
+      {Policy::Adaptive, B, Want::RR, Want::RR, Want::RR},
+      {Policy::Adaptive, N, Want::RR, Want::RR, Want::RR},
+      {Policy::Adaptive, C, Want::RR, Want::RR, Want::RR},
+      // The paper's marker table (§3.2–3.3), including the sub-threshold
+      // collective → RR cell.
+      {Policy::EPC, B, Want::Rail0, Want::Stripe, Want::Stripe},
+      {Policy::EPC, N, Want::RR, Want::RR, Want::RR},
+      {Policy::EPC, C, Want::RR, Want::Stripe, Want::Stripe},
+  };
+  constexpr int kRails = 4;
+  for (const Row& row : kTable) {
+    RailCursor cur;
+    int expect_next = 0;
+    const std::int64_t sizes[] = {1024, kThresh, 1 << 20};
+    const Want wants[] = {row.small, row.at_thresh, row.large};
+    for (int i = 0; i < 3; ++i) {
+      const Schedule s = choose_schedule(row.p, row.k, sizes[i], kRails, kThresh, cur);
+      const auto label = [&] {
+        return std::string(to_string(row.p)) + "/" + to_string(row.k) + "/" +
+               std::to_string(sizes[i]);
+      };
+      switch (wants[i]) {
+        case Want::Rail0:
+          EXPECT_FALSE(s.stripe) << label();
+          EXPECT_EQ(s.rail, 0) << label();
+          break;
+        case Want::RR:
+          EXPECT_FALSE(s.stripe) << label();
+          EXPECT_EQ(s.rail, expect_next) << label();
+          expect_next = (expect_next + 1) % kRails;
+          break;
+        case Want::Stripe:
+          EXPECT_TRUE(s.stripe) << label();
+          break;
+      }
+      EXPECT_EQ(cur.next, expect_next) << label() << " cursor";
+    }
+  }
+  // nrails <= 1 short-circuits every cell to a whole message on rail 0.
+  for (const Row& row : kTable) {
+    RailCursor cur;
+    for (std::int64_t bytes : {1024L, static_cast<std::int64_t>(kThresh), 1L << 20}) {
+      const Schedule s = choose_schedule(row.p, row.k, bytes, 1, kThresh, cur);
+      EXPECT_FALSE(s.stripe);
+      EXPECT_EQ(s.rail, 0);
+      EXPECT_EQ(cur.next, 0);
+    }
+  }
+}
+
 TEST(Policy, Names) {
   EXPECT_STREQ(to_string(Policy::EPC), "EPC");
   EXPECT_STREQ(to_string(Policy::EvenStriping), "even-striping");
