@@ -1,8 +1,18 @@
 #include "ib/fabric.hpp"
 
 #include <stdexcept>
+#include <utility>
+
+#include "ib/fault.hpp"
 
 namespace ib12x::ib {
+
+Fabric::Fabric(sim::Simulator& sim, HcaParams hca_params, FabricParams fabric_params)
+    : sim_(sim), hca_params_(hca_params), fabric_params_(fabric_params) {}
+
+Fabric::~Fabric() = default;
+
+void Fabric::attach_fault(std::unique_ptr<FaultPlan> plan) { fault_ = std::move(plan); }
 
 Hca& Fabric::add_hca(int node) {
   hcas_.push_back(std::unique_ptr<Hca>(new Hca(*this, node, hca_params_)));

@@ -14,10 +14,13 @@
 
 namespace ib12x::ib {
 
+class FaultPlan;
+
 class Fabric {
  public:
-  Fabric(sim::Simulator& sim, HcaParams hca_params = {}, FabricParams fabric_params = {})
-      : sim_(sim), hca_params_(hca_params), fabric_params_(fabric_params) {}
+  // Ctor/dtor out of line: fault_ is a unique_ptr to a forward declaration.
+  explicit Fabric(sim::Simulator& sim, HcaParams hca_params = {}, FabricParams fabric_params = {});
+  ~Fabric();
 
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
@@ -27,6 +30,11 @@ class Fabric {
 
   /// Connects two QPs into an RC pair (both directions).
   static void connect(QueuePair& a, QueuePair& b);
+
+  /// Installs the fault-injection plan.  Without one (the default) every
+  /// fault hook in the HCA pipeline reduces to a null check.
+  void attach_fault(std::unique_ptr<FaultPlan> plan);
+  [[nodiscard]] FaultPlan* fault_plan() const { return fault_.get(); }
 
   [[nodiscard]] sim::Simulator& simulator() const { return sim_; }
   [[nodiscard]] const HcaParams& hca_params() const { return hca_params_; }
@@ -41,6 +49,7 @@ class Fabric {
   HcaParams hca_params_;
   FabricParams fabric_params_;
   std::vector<std::unique_ptr<Hca>> hcas_;
+  std::unique_ptr<FaultPlan> fault_;
   QpNum next_qp_num_ = 1;
 };
 

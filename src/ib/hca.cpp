@@ -6,6 +6,7 @@
 #include <string>
 
 #include "ib/fabric.hpp"
+#include "ib/fault.hpp"
 #include "sim/log.hpp"
 
 namespace ib12x::ib {
@@ -28,6 +29,12 @@ bool SharedReceiveQueue::pop(RecvWr& out) {
 
 void QueuePair::post_send(const SendWr& wr) {
   if (peer_ == nullptr) throw std::logic_error("QueuePair::post_send: QP not connected");
+  if (state_ == QpState::Error) {
+    // Real RC semantics: posting to an error-state QP is legal but the WQE
+    // completes immediately with a flush error and never reaches the wire.
+    flush_send_wr(wr);
+    return;
+  }
   if (static_cast<int>(sq_.size()) >= port_->hca().params().max_send_wqes) {
     throw std::runtime_error("QueuePair::post_send: send queue full (qp " + std::to_string(num_) + ")");
   }
@@ -42,6 +49,10 @@ void QueuePair::post_send(const SendWr& wr) {
 
 void QueuePair::post_send_deferred(const SendWr& wr) {
   if (peer_ == nullptr) throw std::logic_error("QueuePair::post_send_deferred: QP not connected");
+  if (state_ == QpState::Error) {
+    flush_send_wr(wr);
+    return;
+  }
   if (static_cast<int>(sq_.size() + deferred_.size()) >= port_->hca().params().max_send_wqes) {
     throw std::runtime_error("QueuePair::post_send_deferred: send queue full (qp " +
                              std::to_string(num_) + ")");
@@ -63,11 +74,58 @@ void QueuePair::ring_doorbell() {
 
 void QueuePair::post_recv(const RecvWr& wr) {
   if (srq_ != nullptr) throw std::logic_error("QueuePair::post_recv: QP uses an SRQ");
+  if (state_ == QpState::Error) {
+    flush_recv_wr(wr);
+    return;
+  }
   if (static_cast<int>(rq_.size()) >= port_->hca().params().max_recv_wqes) {
     throw std::runtime_error("QueuePair::post_recv: receive queue full");
   }
   rq_.push_back(wr);
 }
+
+void QueuePair::flush_send_wr(const SendWr& wr) {
+  Wc wc;
+  wc.wr_id = wr.wr_id;
+  wc.opcode =
+      wr.opcode == Opcode::Send ? WcOpcode::SendComplete : WcOpcode::RdmaWriteComplete;
+  wc.status = WcStatus::WrFlushErr;
+  wc.byte_len = wr.length;
+  wc.qp_num = num_;
+  wc.timestamp = port_->hca().simulator().now();
+  scq_->push(wc);
+}
+
+void QueuePair::flush_recv_wr(const RecvWr& wr) {
+  Wc wc;
+  wc.wr_id = wr.wr_id;
+  wc.opcode = WcOpcode::RecvComplete;
+  wc.status = WcStatus::WrFlushErr;
+  wc.byte_len = 0;
+  wc.qp_num = num_;
+  wc.timestamp = port_->hca().simulator().now();
+  rcq_->push(wc);
+}
+
+void QueuePair::transition_to_error() {
+  if (state_ == QpState::Error) return;
+  state_ = QpState::Error;
+  // Swap the queues out first: a flush completion callback may post follow-up
+  // WQEs (which take the immediate-flush path above) and must not mutate the
+  // deques mid-drain.  Flush order matches real hardware: send queue in post
+  // order (published, then the un-rung deferred batch), then the receive side.
+  std::deque<SendWr> sq;
+  sq.swap(sq_);
+  std::deque<SendWr> def;
+  def.swap(deferred_);
+  std::deque<RecvWr> rq;
+  rq.swap(rq_);
+  for (const auto& wr : sq) flush_send_wr(wr);
+  for (const auto& wr : def) flush_send_wr(wr);
+  for (const auto& wr : rq) flush_recv_wr(wr);
+}
+
+void QueuePair::reset() { state_ = QpState::Ready; }
 
 RecvWr QueuePair::take_recv_wqe() {
   RecvWr wr;
@@ -103,6 +161,10 @@ struct Transfer {
   QpNum src_qp_num = 0;
   std::int64_t bytes = 0;
   std::int64_t wire_bytes = 0;
+  // No fault state here: an injected failure verdict (AckDrop, RNR drop) is
+  // tracked in the FaultPlan's side set, keyed by this Transfer's address, so
+  // the fault-free pipeline's allocation sizes stay byte-identical (the
+  // interval pin-down cache above is sensitive to heap layout).
   sim::Time t_bus_seg = 0, t_eng_seg = 0, t_tx_seg = 0, t_dl_seg = 0, t_re_seg = 0,
             t_dbus_seg = 0;
   // Upstream last-byte bounds, filled in as the stages run.
@@ -132,12 +194,24 @@ void Port::notify_ready(QueuePair* qp) {
 }
 
 void Port::try_dispatch() {
-  for (int eng = 0; eng < static_cast<int>(send_engines_.size()) && !ready_.empty(); ++eng) {
-    if (engine_busy_[static_cast<std::size_t>(eng)]) continue;
+  const int n = static_cast<int>(send_engines_.size());
+  int eng = 0;
+  while (eng < n && !ready_.empty()) {
+    if (engine_busy_[static_cast<std::size_t>(eng)]) {
+      ++eng;
+      continue;
+    }
     QueuePair* qp = ready_.front();
     ready_.pop_front();
+    if (qp->sq_.empty()) {
+      // An error-state flush drained the send queue while the QP sat in the
+      // ready deque; retire it without consuming an engine.
+      qp->scheduled_ = false;
+      continue;
+    }
     engine_busy_[static_cast<std::size_t>(eng)] = true;
     service(qp, eng);
+    ++eng;
   }
 }
 
@@ -166,6 +240,33 @@ void Port::service(QueuePair* qp, int eng) {
   Hca& dhca = *dport.hca_;
 
   if (wr.length > 0) hca_->mem().check_lkey(wr.lkey, wr.src, wr.length);
+
+  // Per-message fault injection (only when a FaultPlan is attached — the
+  // branch is a single null check on the fault-free path).
+  FaultPlan* plan = hca_->fabric().fault_plan();
+  MsgFault fault = MsgFault::None;
+  if (plan != nullptr) fault = plan->draw_msg_fault();
+  if (fault == MsgFault::Drop) {
+    // Transport retry exhaustion: the engine fetched the WQE but no data
+    // reached the responder.  The error CQE surfaces after the (modelled)
+    // retry timeout; it is generated even for unsignaled WQEs, as on real
+    // hardware, because the consumer must learn about the loss.
+    ++wqes_serviced_;
+    auto& dengine = send_engines_[static_cast<std::size_t>(eng)];
+    auto fetch = dengine.reserve_time(now, now, P.wqe_fetch);
+    sim.at(fetch.finish, [this, eng, qp] { engine_done(eng, qp); });
+    Wc wc;
+    wc.wr_id = wr.wr_id;
+    wc.opcode =
+        wr.opcode == Opcode::Send ? WcOpcode::SendComplete : WcOpcode::RdmaWriteComplete;
+    wc.status = WcStatus::RetryExcErr;
+    wc.byte_len = wr.length;
+    wc.qp_num = qp->num_;
+    const sim::Time cqe_time = now + plan->retry_latency();
+    wc.timestamp = cqe_time;
+    sim.at(cqe_time, [qp, wc] { qp->scq_->push(wc); });
+    return;
+  }
 
   auto& engine = send_engines_[static_cast<std::size_t>(eng)];
   auto& rengine = dport.recv_engines_[static_cast<std::size_t>(dst->recv_engine_idx_)];
@@ -219,6 +320,11 @@ void Port::service(QueuePair* qp, int eng) {
   st->t_dl_seg = t_dl_seg;
   st->t_re_seg = t_re_seg;
   st->t_dbus_seg = t_dbus_seg;
+  // AckDrop: the data packets arrive but the ACK is lost, so the requester
+  // retries until exhaustion and completes in error — while the responder has
+  // already seen the message.  This is the fault that exercises duplicate
+  // suppression above the verbs layer.
+  if (fault == MsgFault::AckDrop) plan->mark_transfer_failed(st.get());
 
   // Single-packet messages (all MPI control traffic — RTS/CTS/FIN — and tiny
   // eager payloads) take a latency-only fast path through the shared pipes.
@@ -333,20 +439,31 @@ void Port::finish_transfer(std::unique_ptr<Transfer> st, sim::Time delivered,
   if (!st->wr.signaled) {
     // Data visible in responder host memory → deliver (copy + CQE).
     sim.at(delivered, [st = std::move(st)] {
-      st->dport->deliver(st->dst, st->wr, st->src_qp_num);
+      (void)st->dport->deliver(st->dst, st->wr, st->src_qp_num);
     });
     return;
   }
   // The delivery event fires before the CQE event (strictly earlier time, or
   // FIFO order at an equal instant since it is pushed first), so it may
-  // borrow the Transfer the CQE event owns.
+  // annotate the Transfer's failure verdict in the FaultPlan for the CQE
+  // event to consume.
   Transfer* raw = st.get();
-  sim.at(delivered, [raw] { raw->dport->deliver(raw->dst, raw->wr, raw->src_qp_num); });
-  sim.at(cqe_time, [st = std::move(st), cqe_time] {
+  sim.at(delivered, [raw] {
+    if (!raw->dport->deliver(raw->dst, raw->wr, raw->src_qp_num)) {
+      // RNR drop → requester error CQE.  deliver() can only return false
+      // with a FaultPlan attached.
+      raw->dhca->fabric().fault_plan()->mark_transfer_failed(raw);
+    }
+  });
+  sim.at(cqe_time, [st = std::move(st), cqe_time, this] {
     Wc wc;
     wc.wr_id = st->wr.wr_id;
     wc.opcode =
         st->wr.opcode == Opcode::Send ? WcOpcode::SendComplete : WcOpcode::RdmaWriteComplete;
+    FaultPlan* plan = hca_->fabric().fault_plan();
+    if (plan != nullptr && plan->take_transfer_failed(st.get())) {
+      wc.status = WcStatus::RetryExcErr;
+    }
     wc.byte_len = st->wr.length;
     wc.qp_num = st->qp->num();
     wc.timestamp = cqe_time;
@@ -354,7 +471,7 @@ void Port::finish_transfer(std::unique_ptr<Transfer> st, sim::Time delivered,
   });
 }
 
-void Port::deliver(QueuePair* dst_qp, const SendWr& wr, QpNum src_qp_num) {
+bool Port::deliver(QueuePair* dst_qp, const SendWr& wr, QpNum src_qp_num) {
   sim::Simulator& sim = hca_->simulator();
   const HcaParams& P = hca_->params();
   const sim::Time now = sim.now();
@@ -367,7 +484,21 @@ void Port::deliver(QueuePair* dst_qp, const SendWr& wr, QpNum src_qp_num) {
       std::memcpy(dstp, wr.src, wr.length);
     }
     if (wr.delivered_cb) wr.delivered_cb();
-    if (!consumes_recv) return;  // plain RDMA write: invisible to the responder
+    if (!consumes_recv) return true;  // plain RDMA write: invisible to the responder
+  }
+
+  if (consumes_recv && hca_->fabric().fault_plan() != nullptr) {
+    // With fault injection active, RNR (no receive posted — possible in the
+    // recovery window after a flush, before the consumer reposts its slots)
+    // becomes a modelled drop: retries exhaust and the requester completes in
+    // error.  Without a plan the condition still indicates a substrate bug
+    // and take_recv_wqe() throws.
+    const bool have_recv =
+        dst_qp->srq_ != nullptr ? dst_qp->srq_->pending() > 0 : !dst_qp->rq_.empty();
+    if (!have_recv) {
+      hca_->fabric().fault_plan()->count_rnr_drop();
+      return false;
+    }
   }
 
   RecvWr rwr = dst_qp->take_recv_wqe();
@@ -398,6 +529,7 @@ void Port::deliver(QueuePair* dst_qp, const SendWr& wr, QpNum src_qp_num) {
   wc.imm_data = wc.has_imm ? wr.imm_data : 0;
   wc.timestamp = cqe_time;
   sim.at(cqe_time, [dst_qp, wc] { dst_qp->rcq_->push(wc); });
+  return true;
 }
 
 // ---------------------------------------------------------------------- Hca

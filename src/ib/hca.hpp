@@ -34,7 +34,13 @@ namespace ib12x::ib {
 class Hca;
 class Port;
 class Fabric;
+class FaultPlan;
 struct Transfer;  // per-message pipeline state (hca.cpp)
+
+/// Queue-pair state, reduced to the two states the fault model needs.
+/// Ready covers INIT/RTR/RTS (connection setup is not modelled); Error is
+/// entered on an injected link/QP fault and flushes both work queues.
+enum class QpState : std::uint8_t { Ready, Error };
 
 /// Receive queue shared between QPs on one HCA (verbs SRQ).
 class SharedReceiveQueue {
@@ -73,6 +79,17 @@ class QueuePair {
   [[nodiscard]] bool connected() const { return peer_ != nullptr; }
   [[nodiscard]] CompletionQueue& send_cq() const { return *scq_; }
   [[nodiscard]] CompletionQueue& recv_cq() const { return *rcq_; }
+  [[nodiscard]] QpState state() const { return state_; }
+
+  /// Moves the QP to the error state (no-op if already there) and flushes
+  /// every queued WQE — send queue first (published then deferred, in post
+  /// order), then the receive queue — as WrFlushErr completions carrying the
+  /// original wr_id.  Mirrors real RC semantics where a fatal transport error
+  /// drains both work queues so the consumer can reclaim its buffers.
+  void transition_to_error();
+  /// Error → Ready (verbs QP reset + re-connect collapsed into one step; the
+  /// simulator keeps the peer wiring, so recovery is just re-arming).
+  void reset();
 
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
   [[nodiscard]] std::uint64_t send_wqes_posted() const { return send_wqes_posted_; }
@@ -107,6 +124,12 @@ class QueuePair {
   std::deque<SendWr> deferred_;
   /// True while the QP sits in the port's ready queue or an engine services it.
   bool scheduled_ = false;
+  QpState state_ = QpState::Ready;
+
+  /// Immediate flush completion for a WQE that cannot be (or no longer is)
+  /// queued: the error state short-circuits the whole pipeline.
+  void flush_send_wr(const SendWr& wr);
+  void flush_recv_wr(const RecvWr& wr);
 
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t send_wqes_posted_ = 0;
@@ -160,7 +183,9 @@ class Port {
   void finish_transfer(std::unique_ptr<Transfer> st, sim::Time delivered, sim::Time cqe_time);
 
   /// Inbound delivery (runs on the destination port, from event context).
-  void deliver(QueuePair* dst_qp, const SendWr& wr, QpNum src_qp_num);
+  /// Returns false when the message was dropped because the responder had no
+  /// receive WQE posted (RNR with a FaultPlan attached; throws without one).
+  bool deliver(QueuePair* dst_qp, const SendWr& wr, QpNum src_qp_num);
 
   Hca* hca_;
   int index_;
@@ -194,6 +219,16 @@ class Hca {
                        SharedReceiveQueue* srq = nullptr);
 
   SharedReceiveQueue& create_srq();
+
+  /// All QPs created on port `port_idx` (fault-plan bookkeeping: a link-down
+  /// event transitions every QP behind the port to the error state).
+  [[nodiscard]] std::vector<QueuePair*> port_qps(int port_idx) const {
+    std::vector<QueuePair*> out;
+    for (const auto& qp : qps_) {
+      if (qp->port_->index() == port_idx) out.push_back(qp.get());
+    }
+    return out;
+  }
 
   /// Telemetry: instantaneous sum of send-queue depths over every QP.
   [[nodiscard]] std::size_t total_send_queue_depth() const {

@@ -56,10 +56,31 @@ enum class WcOpcode : std::uint8_t {
   RecvComplete,       ///< inbound Send (or write-with-imm) landed
 };
 
+/// Completion status (mirrors ibv_wc_status).  Anything but Success means the
+/// WQE's data did not (necessarily) reach the remote side: WrFlushErr marks
+/// WQEs drained from a queue when its QP entered the error state, RetryExcErr
+/// marks transport-level delivery failure (injected message faults, RNR retry
+/// exhaustion while the responder has no receive posted).
+enum class WcStatus : std::uint8_t {
+  Success,
+  WrFlushErr,
+  RetryExcErr,
+};
+
+inline const char* to_string(WcStatus s) {
+  switch (s) {
+    case WcStatus::Success: return "success";
+    case WcStatus::WrFlushErr: return "flush-err";
+    case WcStatus::RetryExcErr: return "retry-exceeded";
+  }
+  return "?";
+}
+
 /// Work completion.
 struct Wc {
   std::uint64_t wr_id = 0;
   WcOpcode opcode = WcOpcode::SendComplete;
+  WcStatus status = WcStatus::Success;
   std::uint32_t byte_len = 0;
   QpNum qp_num = 0;      ///< local QP this completion belongs to
   QpNum src_qp = 0;      ///< remote QP (receive completions)

@@ -11,10 +11,12 @@
 // callers (Communicator / Collectives).
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 
+#include "ib/types.hpp"
 #include "mvx/config.hpp"
 #include "mvx/request.hpp"
 #include "mvx/wire.hpp"
@@ -25,6 +27,22 @@ namespace ib12x::mvx {
 
 class Matcher;
 class TelemetryRegistry;
+
+/// One rendezvous RDMA-write stripe; lkeys/rkeys are per HCA domain and the
+/// net channel resolves them through the rail's HCA index.  Lives at
+/// namespace scope (not inside NetChannel) because the failover hand-back —
+/// ChannelHost::on_rndv_write_failed — must carry the full descriptor so the
+/// Rendezvous module can re-plan and re-post it.
+struct RndvStripe {
+  int rail = 0;
+  const std::byte* src = nullptr;
+  std::int64_t len = 0;
+  std::uint64_t raddr = 0;
+  std::uint64_t req_id = 0;  ///< reported back via ChannelHost::on_rndv_write_done
+  std::array<ib::LKey, kMaxHcas> lkeys{};
+  CtsRkeys rkeys;
+  int attempts = 0;  ///< failover re-posts of this stripe so far
+};
 
 /// What a channel (or protocol module) may ask of its owning endpoint.
 class ChannelHost {
@@ -52,6 +70,14 @@ class ChannelHost {
   virtual void on_ctl(const MsgHeader& hdr, const CtsRkeys& rkeys) = 0;
   /// A rendezvous stripe write finished on the wire (requester CQE).
   virtual void on_rndv_write_done(int peer, std::uint64_t req_id) = 0;
+  /// A rendezvous stripe write failed (error CQE under fault injection) and
+  /// needs re-planning over the surviving rails.  Default no-op: only hosts
+  /// with failover support override it, and it can only fire when a
+  /// FaultPlan is attached.
+  virtual void on_rndv_write_failed(int peer, const RndvStripe& st) {
+    (void)peer;
+    (void)st;
+  }
 
   /// Marks `req` complete and wakes waiters.
   virtual void complete_request(const Request& req) = 0;

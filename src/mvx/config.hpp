@@ -79,6 +79,34 @@ struct Config {
   /// `rndv.reg_cache_evictions` counts them.
   std::int64_t reg_cache_capacity = 0;
 
+  // ---- fault injection / failover ----------------------------------------
+  /// Deterministic fault model (ib::FaultPlan) plus the transport's failover
+  /// response.  With enabled == false (the default) every fault hook in the
+  /// stack is inert and the simulation is bit-identical to the fault-free
+  /// build.
+  struct FaultConfig {
+    bool enabled = false;
+    std::uint64_t seed = 0xfa17;       ///< fault RNG stream (independent of Config::seed)
+    double msg_error_rate = 0.0;       ///< per-WQE probability of a transport fault
+    double ack_drop_fraction = 0.25;   ///< of faulted WQEs: data lands, ACK lost
+    sim::Time retry_latency = sim::microseconds(2.0);   ///< fault → error-CQE delay
+    sim::Time rail_recovery = sim::microseconds(20.0);  ///< rail down → retry-up probe
+    int eager_retry_limit = 64;        ///< replays of one eager/ctl message before giving up
+    int stripe_retry_limit = 64;       ///< re-posts of one rendezvous stripe before giving up
+
+    /// A scheduled link flap: port `port` of HCA `hca` on node `node` goes
+    /// down at `down_at` and comes back at `up_at` (ignored if <= down_at).
+    struct LinkFlap {
+      int node = 0;
+      int hca = 0;
+      int port = 0;
+      sim::Time down_at = 0;
+      sim::Time up_at = 0;
+    };
+    std::vector<LinkFlap> link_flaps;
+  };
+  FaultConfig fault;
+
   // ---- software costs (MVAPICH-era, Power6) -------------------------------
   sim::Time post_cpu = sim::nanoseconds(700);      ///< build WQE + ring doorbell (uncached MMIO)
   /// Doorbell-batched posting (pipelined rendezvous only): each WQE costs

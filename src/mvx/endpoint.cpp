@@ -170,6 +170,10 @@ void Endpoint::on_rndv_write_done(int peer, std::uint64_t req_id) {
   rndv_->on_write_done(peer, req_id);
 }
 
+void Endpoint::on_rndv_write_failed(int peer, const RndvStripe& st) {
+  rndv_->on_write_failed(peer, st);
+}
+
 void Endpoint::complete_request(const Request& req) {
   req->done = true;
   req->completed_at = sim_.now();

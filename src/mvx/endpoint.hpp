@@ -114,6 +114,7 @@ class Endpoint final : public ChannelHost {
   void ingress(int peer, const MsgHeader& hdr, std::vector<std::byte> payload) override;
   void on_ctl(const MsgHeader& hdr, const CtsRkeys& rkeys) override;
   void on_rndv_write_done(int peer, std::uint64_t req_id) override;
+  void on_rndv_write_failed(int peer, const RndvStripe& st) override;
   void complete_request(const Request& req) override;
 
  private:

@@ -8,7 +8,8 @@ Matcher::Matcher(TelemetryRegistry& tel)
     : unexpected_ctr_(tel.counter("matcher.unexpected")),
       reorder_parked_ctr_(tel.counter("matcher.reorder_parked")),
       reorder_depth_peak_(tel.counter("matcher.reorder_depth_peak")),
-      matched_ctr_(tel.counter("matcher.matched")) {}
+      matched_ctr_(tel.counter("matcher.matched")),
+      dup_dropped_(tel.counter("fault.dup_dropped")) {}
 
 std::uint32_t Matcher::next_send_seq(int peer, int ctx) {
   return send_seq_[{peer, ctx}]++;
@@ -18,6 +19,14 @@ std::vector<Matcher::Inbound> Matcher::sequence(int peer, const MsgHeader& hdr,
                                                 std::vector<std::byte> payload) {
   std::vector<Inbound> ready;
   std::uint32_t& next = next_seq_[{peer, hdr.ctx}];
+  if (hdr.seq < next ||
+      (hdr.seq != next && reorder_.count({peer, hdr.ctx, hdr.seq}) != 0)) {
+    // Duplicate delivery: a fault-injection replay of a message whose first
+    // copy arrived but whose sender-side CQE reported an error.  Unreachable
+    // without fault injection (every seq is delivered exactly once).
+    dup_dropped_.inc();
+    return ready;
+  }
   if (hdr.seq != next) {
     // Arrived ahead of order (multi-rail round robin / striping race): park
     // until the gap closes.

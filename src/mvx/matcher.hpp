@@ -99,6 +99,7 @@ class Matcher {
   Counter& reorder_parked_ctr_;
   Counter& reorder_depth_peak_;
   Counter& matched_ctr_;
+  Counter& dup_dropped_;  ///< replayed eager/RTS duplicates discarded
 };
 
 }  // namespace ib12x::mvx

@@ -12,10 +12,17 @@ namespace ib12x::mvx {
 NetChannel::NetChannel(ChannelHost& host, std::vector<ib::Hca*> hcas)
     : Channel(host),
       hcas_(std::move(hcas)),
+      fault_enabled_(host.config().fault.enabled),
       eager_sent_(host.telemetry().counter("net.eager_sent")),
       ctl_sent_(host.telemetry().counter("net.ctl_sent")),
       bytes_sent_(host.telemetry().counter("net.bytes_sent")),
-      credit_stalls_(host.telemetry().counter("net.credit_stalls")) {
+      credit_stalls_(host.telemetry().counter("net.credit_stalls")),
+      rail_up_(host.telemetry().counter("rail.up")),
+      rail_down_(host.telemetry().counter("rail.down")),
+      rail_recovered_(host.telemetry().counter("rail.recovered")),
+      send_errors_(host.telemetry().counter("fault.send_errors")),
+      recv_flushes_(host.telemetry().counter("fault.recv_flushes")),
+      eager_retries_(host.telemetry().counter("fault.eager_retries")) {
   if (static_cast<int>(hcas_.size()) > kMaxHcas) {
     throw std::invalid_argument("NetChannel: too many HCAs per node");
   }
@@ -88,6 +95,16 @@ void NetChannel::connect(NetChannel& a, NetChannel& b) {
         ib::Fabric::connect(qa, qb);
         ca.rails.push_back(Rail{&qa, h, cfg.eager_credits, 0});
         cb.rails.push_back(Rail{&qb, h, cfg.eager_credits, 0});
+        // Error-CQE → rail routing, only ever consulted under fault
+        // injection; skip the map nodes entirely otherwise.
+        if (a.fault_enabled_) {
+          a.qp_rail_[qa.num()] = {b.host_.rank(), static_cast<int>(ca.rails.size()) - 1};
+        }
+        if (b.fault_enabled_) {
+          b.qp_rail_[qb.num()] = {a.host_.rank(), static_cast<int>(cb.rails.size()) - 1};
+        }
+        a.rail_up_.inc();
+        b.rail_up_.inc();
         prepost(a, &qa, h, b.host_.rank());
         prepost(b, &qb, h, a.host_.rank());
       }
@@ -126,6 +143,42 @@ std::vector<std::int64_t> NetChannel::rail_outstanding(int peer_rank) const {
   out.reserve(c.rails.size());
   for (const Rail& r : c.rails) out.push_back(r.outstanding);
   return out;
+}
+
+std::vector<std::uint8_t> NetChannel::rail_up(int peer_rank) const {
+  const Peer& c = peer(peer_rank);
+  std::vector<std::uint8_t> out;
+  out.reserve(c.rails.size());
+  for (const Rail& r : c.rails) out.push_back(r.up ? 1 : 0);
+  return out;
+}
+
+std::vector<int> NetChannel::live_rails(int peer_rank) const {
+  const Peer& c = peer(peer_rank);
+  std::vector<int> out;
+  for (int i = 0; i < static_cast<int>(c.rails.size()); ++i) {
+    if (c.rails[static_cast<std::size_t>(i)].up) out.push_back(i);
+  }
+  return out;
+}
+
+int NetChannel::remap_live(const Peer& c, int rail) const {
+  const int n = static_cast<int>(c.rails.size());
+  for (int i = 0; i < n; ++i) {
+    const int cand = (rail + i) % n;
+    if (c.rails[static_cast<std::size_t>(cand)].up) return cand;
+  }
+  return rail;
+}
+
+void NetChannel::wait_any_rail_up(int peer_rank) {
+  Peer& c = peer(peer_rank);
+  host_.process().wait_until(host_.progress(), [&c] {
+    for (const Rail& r : c.rails) {
+      if (r.up) return true;
+    }
+    return false;
+  });
 }
 
 // ------------------------------------------------------------- eager sends
@@ -176,7 +229,18 @@ void NetChannel::send(int peer_rank, CommKind kind, const void* buf, std::int64_
     Schedule s = choose_schedule(cfg.policy, kind, bytes, static_cast<int>(c.rails.size()),
                                  cfg.stripe_threshold, c.cursor);
     rail = s.stripe ? 0 : s.rail;  // eager never stripes
-    if (cfg.policy == Policy::Adaptive) rail = least_loaded_rail(rail_outstanding(peer_rank));
+    if (cfg.policy == Policy::Adaptive) {
+      rail = fault_enabled_
+                 ? least_loaded_rail(rail_outstanding(peer_rank), rail_up(peer_rank))
+                 : least_loaded_rail(rail_outstanding(peer_rank));
+    }
+  }
+  if (fault_enabled_) {
+    // Failover: never start an eager send on a rail known to be down.  The
+    // schedule above keeps its cursor arithmetic (so fault-free behaviour is
+    // untouched); the dead-rail remap happens after the fact.
+    wait_any_rail_up(peer_rank);
+    rail = remap_live(c, rail);
   }
 
   int bounce = acquire_bounce_and_credit(c, rail);
@@ -205,6 +269,10 @@ void NetChannel::send(int peer_rank, CommKind kind, const void* buf, std::int64_
 
 void NetChannel::send_ctl_blocking(int peer_rank, int rail, const MsgHeader& hdr) {
   Peer& c = peer(peer_rank);
+  if (fault_enabled_) {
+    wait_any_rail_up(peer_rank);
+    rail = remap_live(c, rail);
+  }
   int bounce = acquire_bounce_and_credit(c, rail);
   host_.process().compute(host_.config().post_cpu);
   post_eager(c, peer_rank, rail, bounce, hdr, nullptr, 0);
@@ -222,7 +290,8 @@ void NetChannel::send_ctl(int peer_rank, const MsgHeader& hdr, const CtsRkeys& r
   int rail = -1;
   for (int i = 0; i < n; ++i) {
     int cand = (start + i) % n;
-    if (c.rails[static_cast<std::size_t>(cand)].credits > 0) {
+    if (c.rails[static_cast<std::size_t>(cand)].credits > 0 &&
+        (!fault_enabled_ || c.rails[static_cast<std::size_t>(cand)].up)) {
       rail = cand;
       break;
     }
@@ -256,6 +325,10 @@ void NetChannel::flush_pending_ctl(int peer_rank) {
 void NetChannel::post_write_impl(Peer& c, int peer_rank, const RndvStripe& st, bool deferred) {
   Rail& r = c.rails.at(static_cast<std::size_t>(st.rail));
   auto* sctx = new SendCtx{SendCtx::Kind::RndvWrite, peer_rank, st.rail, -1, st.req_id, st.len};
+  sctx->attempts = st.attempts;
+  // Keep the full stripe descriptor only under fault injection, where an
+  // error CQE hands it back to the Rendezvous module for re-planning.
+  if (fault_enabled_) inflight_stripe_.emplace(sctx, st);
   r.outstanding += st.len;
   ib::SendWr wr;
   wr.wr_id = reinterpret_cast<std::uint64_t>(sctx);
@@ -312,23 +385,55 @@ void NetChannel::post_fp_write(int peer_rank, const std::byte* src, std::uint32_
 
 void NetChannel::on_send_cqe(const ib::Wc& wc) {
   auto* sctx = reinterpret_cast<SendCtx*>(wc.wr_id);
+  // A failure verdict rides the side set rather than the lambda capture:
+  // [this, sctx] fills std::function's inline buffer exactly, so adding a
+  // bool would heap-allocate on every CQE of the fault-free path.
+  if (wc.status != ib::WcStatus::Success) failed_send_.insert(sctx);
   // Polling and processing a completion costs host CPU, serialized with all
   // other protocol work of this rank — per-stripe CQEs are a real per-stripe
   // tax ("receipt of multiple acknowledgments", paper §4.3).
   host_.schedule_cpu(host_.config().cqe_sw, [this, sctx] {
+    const bool failed = fault_enabled_ && failed_send_.erase(sctx) != 0;
     Peer& c = peer(sctx->peer);
     c.rails.at(static_cast<std::size_t>(sctx->rail)).outstanding -= sctx->bytes;
+    if (failed) {
+      send_errors_.inc();
+      mark_rail_down(sctx->peer, sctx->rail);
+    }
     switch (sctx->kind) {
       case SendCtx::Kind::Bounce: {
+        // The credit always returns (flushed WQEs consumed no receiver slot,
+        // and a dropped message's slot survives for the replay).
         ++c.rails.at(static_cast<std::size_t>(sctx->rail)).credits;
-        free_bounce_.push_back(sctx->bounce);
+        if (failed) {
+          // The bounce buffer still holds the wire image: replay it on a
+          // live rail rather than recycling it.
+          eager_retries_.inc();
+          retry_eager(sctx->peer, sctx->bounce, sctx->bytes, sctx->attempts + 1);
+        } else {
+          free_bounce_.push_back(sctx->bounce);
+        }
+        if (fault_enabled_ && !pending_retry_.empty()) flush_pending_retries();
         flush_pending_ctl(sctx->peer);
         host_.progress().notify_all();
         break;
       }
       case SendCtx::Kind::FpWrite:
+        if (failed) {
+          throw std::runtime_error("NetChannel: fast-path write failed (fast path is "
+                                   "not fault tolerant; disable it under fault injection)");
+        }
         break;  // staging slot reuse is gated by the fast-path credit
       case SendCtx::Kind::RndvWrite: {
+        if (fault_enabled_) {
+          auto it = inflight_stripe_.find(sctx);
+          const RndvStripe st = it->second;
+          inflight_stripe_.erase(it);
+          if (failed) {
+            host_.on_rndv_write_failed(sctx->peer, st);
+            break;
+          }
+        }
         host_.on_rndv_write_done(sctx->peer, sctx->req_id);
         break;
       }
@@ -339,6 +444,19 @@ void NetChannel::on_send_cqe(const ib::Wc& wc) {
 
 void NetChannel::on_recv_cqe(const ib::Wc& wc) {
   auto* slot = reinterpret_cast<RecvSlot*>(wc.wr_id);
+  if (wc.status != ib::WcStatus::Success) {
+    // Flushed receive WQE: the buffer holds no message.  Park the slot on its
+    // rail; it is reposted when the rail recovers.
+    recv_flushes_.inc();
+    auto it = qp_rail_.find(wc.qp_num);
+    if (it == qp_rail_.end()) {
+      throw std::logic_error("NetChannel: flush CQE from unknown QP");
+    }
+    const auto [peer_rank, rail] = it->second;
+    peers_.at(peer_rank).rails.at(static_cast<std::size_t>(rail)).parked.push_back(slot);
+    mark_rail_down(peer_rank, rail);
+    return;
+  }
   MsgHeader hdr = read_header(slot->buf.data());
   const std::byte* payload = slot->buf.data() + kHeaderBytes;
 
@@ -375,6 +493,106 @@ void NetChannel::on_recv_cqe(const ib::Wc& wc) {
   } else {
     slot->qp->post_recv(repost);
   }
+}
+
+// ---------------------------------------------------------------- failover
+
+namespace {
+/// Bound on consecutive still-down recovery probes; a link that flaps for
+/// longer than polls × rail_recovery is treated as permanently dead.
+constexpr int kMaxRecoveryPolls = 1000;
+}  // namespace
+
+void NetChannel::mark_rail_down(int peer_rank, int rail) {
+  Rail& r = peer(peer_rank).rails.at(static_cast<std::size_t>(rail));
+  if (r.up) {
+    r.up = false;
+    rail_down_.inc();
+  }
+  schedule_recovery(peer_rank, rail);
+}
+
+void NetChannel::schedule_recovery(int peer_rank, int rail) {
+  Rail& r = peer(peer_rank).rails.at(static_cast<std::size_t>(rail));
+  if (r.recovery_scheduled) return;
+  r.recovery_scheduled = true;
+  sim::Simulator& sim = host_.simulator();
+  sim.at(sim.now() + host_.config().fault.rail_recovery,
+         [this, peer_rank, rail] { try_recover_rail(peer_rank, rail); });
+}
+
+void NetChannel::try_recover_rail(int peer_rank, int rail) {
+  Rail& r = peer(peer_rank).rails.at(static_cast<std::size_t>(rail));
+  r.recovery_scheduled = false;
+  if (r.qp->state() != ib::QpState::Ready) {
+    // Link still down (the FaultPlan resets the QP pair when it comes back).
+    if (++r.recovery_polls <= kMaxRecoveryPolls) schedule_recovery(peer_rank, rail);
+    return;
+  }
+  r.recovery_polls = 0;
+  if (r.up) return;
+  r.up = true;
+  rail_recovered_.inc();
+  for (RecvSlot* slot : r.parked) {
+    const ib::RecvWr wr{.wr_id = reinterpret_cast<std::uint64_t>(slot),
+                        .dst = slot->buf.data(),
+                        .length = static_cast<std::uint32_t>(slot->buf.size()),
+                        .lkey = slot->lkey};
+    if (slot->srq != nullptr) {
+      slot->srq->post(wr);
+    } else {
+      slot->qp->post_recv(wr);
+    }
+  }
+  r.parked.clear();
+  flush_pending_retries();
+  flush_pending_ctl(peer_rank);
+  host_.progress().notify_all();
+}
+
+void NetChannel::retry_eager(int peer_rank, int bounce, std::int64_t wire_bytes, int attempts) {
+  if (attempts > host_.config().fault.eager_retry_limit) {
+    throw std::runtime_error("NetChannel: eager retry limit exceeded to rank " +
+                             std::to_string(peer_rank));
+  }
+  Peer& c = peer(peer_rank);
+  const int n = static_cast<int>(c.rails.size());
+  int rail = -1;
+  for (int i = 0; i < n; ++i) {
+    const int cand = (c.cursor.next + i) % n;
+    const Rail& r = c.rails[static_cast<std::size_t>(cand)];
+    if (r.up && r.credits > 0) {
+      rail = cand;
+      break;
+    }
+  }
+  if (rail < 0) {
+    // No live rail with credit: park until one recovers or a credit returns.
+    pending_retry_.push_back({peer_rank, bounce, wire_bytes, attempts});
+    return;
+  }
+  --c.rails.at(static_cast<std::size_t>(rail)).credits;
+  post_bounce_raw(c, peer_rank, rail, bounce, wire_bytes, attempts);
+}
+
+void NetChannel::flush_pending_retries() {
+  std::vector<PendingRetry> work;
+  work.swap(pending_retry_);
+  for (const PendingRetry& p : work) retry_eager(p.peer, p.bounce, p.bytes, p.attempts);
+}
+
+void NetChannel::post_bounce_raw(Peer& c, int peer_rank, int rail, int bounce,
+                                 std::int64_t wire_bytes, int attempts) {
+  Rail& r = c.rails.at(static_cast<std::size_t>(rail));
+  BounceBuf& bb = bounce_[static_cast<std::size_t>(bounce)];
+  auto* ctx = new SendCtx{SendCtx::Kind::Bounce, peer_rank, rail, bounce, 0, wire_bytes};
+  ctx->attempts = attempts;
+  r.outstanding += wire_bytes;
+  r.qp->post_send({.wr_id = reinterpret_cast<std::uint64_t>(ctx),
+                   .opcode = ib::Opcode::Send,
+                   .src = bb.data.data(),
+                   .length = static_cast<std::uint32_t>(wire_bytes),
+                   .lkey = bb.lkey[r.hca_index]});
 }
 
 }  // namespace ib12x::mvx

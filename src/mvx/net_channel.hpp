@@ -16,6 +16,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "ib/verbs.hpp"
@@ -60,18 +61,15 @@ class NetChannel final : public Channel {
   [[nodiscard]] RailCursor& ctl_cursor(int peer);
   /// Per-rail outstanding bytes (the gauge the Adaptive policy balances on).
   [[nodiscard]] std::vector<std::int64_t> rail_outstanding(int peer) const;
+  /// Per-rail health mask (1 = up).  All-ones unless fault injection is on.
+  [[nodiscard]] std::vector<std::uint8_t> rail_up(int peer) const;
+  /// Indices of the currently-up rails (may be empty mid-outage).
+  [[nodiscard]] std::vector<int> live_rails(int peer) const;
+  [[nodiscard]] bool fault_enabled() const { return fault_enabled_; }
 
-  /// One rendezvous RDMA-write stripe; lkeys/rkeys are per HCA domain and
-  /// the channel resolves them through the rail's HCA index.
-  struct RndvStripe {
-    int rail = 0;
-    const std::byte* src = nullptr;
-    std::int64_t len = 0;
-    std::uint64_t raddr = 0;
-    std::uint64_t req_id = 0;  ///< reported back via ChannelHost::on_rndv_write_done
-    std::array<ib::LKey, kMaxHcas> lkeys{};
-    CtsRkeys rkeys;
-  };
+  /// Moved to namespace scope (channel.hpp) so the failover hand-back can
+  /// carry it; the member alias keeps NetChannel::RndvStripe spelling valid.
+  using RndvStripe = mvx::RndvStripe;
   void post_write(int peer, const RndvStripe& st);
   /// Posts a chunk's stripes as one doorbell batch: every WQE is built and
   /// appended deferred, then each involved rail's doorbell rings once
@@ -102,6 +100,12 @@ class NetChannel final : public Channel {
     int hca_index = 0;
     int credits = 0;
     std::int64_t outstanding = 0;
+    // ---- failover state (inert unless fault injection is on) ----
+    bool up = true;
+    bool recovery_scheduled = false;  ///< a try_recover_rail event is pending
+    int recovery_polls = 0;           ///< consecutive still-down probes (bounded)
+    /// Receive slots flushed when the rail died; reposted on recovery.
+    std::vector<RecvSlot*> parked;
   };
 
   /// An eager bounce buffer registered in every local HCA domain.
@@ -118,7 +122,11 @@ class NetChannel final : public Channel {
     std::deque<std::pair<MsgHeader, CtsRkeys>> pending_ctl;
   };
 
-  /// Sender-side context attached to each send WQE via wr_id.
+  /// Sender-side context attached to each send WQE via wr_id.  Kept at 40
+  /// bytes — the same glibc bin as before failover support — so fault-free
+  /// allocation sizes are unchanged; the full stripe descriptor an error CQE
+  /// needs for re-planning lives in the inflight_stripe_ side map instead,
+  /// populated only when fault injection is on.
   struct SendCtx {
     enum class Kind : std::uint8_t { Bounce, RndvWrite, FpWrite } kind = Kind::Bounce;
     int peer = -1;
@@ -126,6 +134,16 @@ class NetChannel final : public Channel {
     int bounce = -1;           // Bounce: index into bounce pool
     std::uint64_t req_id = 0;  // RndvWrite: outstanding request
     std::int64_t bytes = 0;    // outstanding-byte accounting
+    int attempts = 0;          // failover replays of this message so far
+  };
+
+  /// An eager/ctl message whose retry found no usable rail; drained when a
+  /// rail recovers.
+  struct PendingRetry {
+    int peer = -1;
+    int bounce = -1;
+    std::int64_t bytes = 0;
+    int attempts = 0;
   };
 
   Peer& peer(int rank);
@@ -148,6 +166,25 @@ class NetChannel final : public Channel {
   void on_send_cqe(const ib::Wc& wc);
   void on_recv_cqe(const ib::Wc& wc);
 
+  // ---- failover machinery (reachable only with fault injection on) ----
+
+  /// First up rail at-or-after `rail`, wrapping; `rail` itself if none is up.
+  [[nodiscard]] int remap_live(const Peer& c, int rail) const;
+  /// Blocks the calling process until some rail to `peer_rank` is up.
+  void wait_any_rail_up(int peer_rank);
+  /// Error CQE seen on (peer, rail): mark it down and start the timed
+  /// recovery probe.
+  void mark_rail_down(int peer_rank, int rail);
+  void schedule_recovery(int peer_rank, int rail);
+  void try_recover_rail(int peer_rank, int rail);
+  /// Replays a failed eager/ctl message (the bounce buffer still holds the
+  /// wire image) on a live rail, or parks it until one recovers.
+  void retry_eager(int peer_rank, int bounce, std::int64_t wire_bytes, int attempts);
+  void flush_pending_retries();
+  /// Raw re-post of an already-filled bounce buffer (credit already taken).
+  void post_bounce_raw(Peer& c, int peer_rank, int rail, int bounce, std::int64_t wire_bytes,
+                       int attempts);
+
   std::vector<ib::Hca*> hcas_;
 
   ib::CompletionQueue scq_;
@@ -160,10 +197,32 @@ class NetChannel final : public Channel {
   std::vector<BounceBuf> bounce_;
   std::vector<int> free_bounce_;
 
+  const bool fault_enabled_;
+  /// QP number → (peer rank, rail index): routes error CQEs — which carry
+  /// only the qp_num — back to the rail they belong to.
+  std::map<ib::QpNum, std::pair<int, int>> qp_rail_;
+  /// A vector, not a deque: an empty deque heap-allocates its map block on
+  /// construction, and this member must cost nothing when faults are off.
+  std::vector<PendingRetry> pending_retry_;
+  /// RndvWrite stripe descriptors for in-flight WQEs, so an error CQE can
+  /// hand the write back to the Rendezvous module for re-planning.  Only
+  /// populated under fault injection.
+  std::map<const SendCtx*, RndvStripe> inflight_stripe_;
+  /// SendCtxs whose CQE carried an error status, recorded between the CQE
+  /// callback and its deferred CPU processing.  Only populated under fault
+  /// injection (the fault-free model produces no error CQEs).
+  std::set<const SendCtx*> failed_send_;
+
   Counter& eager_sent_;
   Counter& ctl_sent_;
   Counter& bytes_sent_;
   Counter& credit_stalls_;
+  Counter& rail_up_;         ///< rail activations (connect time)
+  Counter& rail_down_;       ///< up → down transitions
+  Counter& rail_recovered_;  ///< down → up transitions
+  Counter& send_errors_;     ///< error CQEs on the send side
+  Counter& recv_flushes_;    ///< flushed receive WQEs (slots parked)
+  Counter& eager_retries_;   ///< eager/ctl messages replayed after an error
 };
 
 }  // namespace ib12x::mvx

@@ -63,4 +63,37 @@ Schedule choose_schedule(Policy policy, CommKind kind, std::int64_t bytes,
 /// per-rail outstanding-byte gauge the channel maintains.
 int least_loaded_rail(const std::vector<std::int64_t>& outstanding);
 
+/// Masked overload for failover: only rails with up[i] != 0 are candidates.
+/// Falls back to plain least-loaded when no rail is up (the caller's
+/// recovery machinery will resurrect one).
+int least_loaded_rail(const std::vector<std::int64_t>& outstanding,
+                      const std::vector<std::uint8_t>& up);
+
+/// One planned stripe of a striped transfer; `offset` is absolute within the
+/// message.
+struct Stripe {
+  int rail;
+  std::int64_t offset;
+  std::int64_t len;
+};
+
+/// Splits `bytes` at message offset `base_off` into stripes over the listed
+/// rails.  `rails` is the candidate list — every rail normally, the live
+/// subset under failover — and stripes are assigned over list *positions*,
+/// starting at a base that rotates through `cursor` whenever fewer stripes
+/// than candidates are cut (so successive transfers spread over all rails).
+/// Stripe lengths follow `weights` cyclically (empty = equal shares), never
+/// fall below `min_stripe`, and always sum to `bytes`.  Returns an empty
+/// vector for bytes <= 0 or an empty rail list.
+std::vector<Stripe> plan_stripes(std::int64_t bytes, std::int64_t base_off,
+                                 const std::vector<int>& rails, std::int64_t min_stripe,
+                                 const std::vector<double>& weights, RailCursor& cursor);
+
+/// Identity-rail overload: candidates are rails 0..nrails-1.  This is the
+/// no-failover fast path — it allocates no candidate list, so the fault-free
+/// pipeline's allocation sequence is unchanged by the failover machinery.
+std::vector<Stripe> plan_stripes(std::int64_t bytes, std::int64_t base_off, int nrails,
+                                 std::int64_t min_stripe, const std::vector<double>& weights,
+                                 RailCursor& cursor);
+
 }  // namespace ib12x::mvx

@@ -46,7 +46,9 @@ Rendezvous::Rendezvous(ChannelHost& host, NetChannel& net)
       reg_misses_(host.telemetry().counter("rndv.reg_cache_misses")),
       reg_evictions_(host.telemetry().counter("rndv.reg_cache_evictions")),
       cts_chunks_(host.telemetry().counter("rndv.cts_chunks")),
-      pipeline_depth_(host.telemetry().counter("rndv.pipeline_depth")) {
+      pipeline_depth_(host.telemetry().counter("rndv.pipeline_depth")),
+      dup_ctl_dropped_(host.telemetry().counter("rndv.dup_ctl_dropped")),
+      restriped_(host.telemetry().counter("fault.rndv_restriped")) {
   const Config& cfg = host.config();
   PinCache::Options opts;
   opts.interval = cfg.rndv_pipeline;  // legacy mode keeps exact-pointer semantics
@@ -191,7 +193,18 @@ void Rendezvous::accept(const MsgHeader& rts, const Request& req) {
 }
 
 void Rendezvous::on_cts(const MsgHeader& hdr, const CtsRkeys& rkeys) {
-  Request req = peek_cookie(hdr.sender_cookie);
+  auto it = outstanding_.find(hdr.sender_cookie);
+  if (it == outstanding_.end()) {
+    if (net_.fault_enabled()) {
+      // A replayed CTS (its first copy did arrive; the sender's CQE errored)
+      // for a send that has since completed.
+      dup_ctl_dropped_.inc();
+      return;
+    }
+    throw std::logic_error("Rendezvous: unknown request cookie " +
+                           std::to_string(hdr.sender_cookie));
+  }
+  Request req = it->second;
   IB12X_DEBUG(host_.simulator().now(), "rank%d: CTS for cookie %llu size %llu chunk %u",
               host_.rank(), (unsigned long long)hdr.sender_cookie, (unsigned long long)hdr.size,
               (unsigned)hdr.chunk);
@@ -199,6 +212,10 @@ void Rendezvous::on_cts(const MsgHeader& hdr, const CtsRkeys& rkeys) {
   if (send_progress_.count(hdr.sender_cookie) != 0) {
     start_chunk_writes(req->peer, req, hdr, rkeys);
   } else {
+    if (net_.fault_enabled() && req->pending_writes > 0) {
+      dup_ctl_dropped_.inc();  // replayed CTS while the writes are in flight
+      return;
+    }
     start_writes(req->peer, req, hdr, rkeys);
   }
 }
@@ -209,67 +226,50 @@ std::vector<Rendezvous::Stripe> Rendezvous::plan_stripes(int peer, const Request
   const Config& cfg = host_.config();
   const int nrails = net_.nrails(peer);
 
+  // Candidate rails: all of them normally — through the identity overload of
+  // mvx::plan_stripes, so the fault-free path allocates no candidate list —
+  // or the live subset under failover.  If an outage leaves none, plan over
+  // the full set anyway: the writes fail and the error path re-plans once
+  // something recovers.
+  std::vector<int> live;
+  if (net_.fault_enabled()) live = net_.live_rails(peer);
+  const bool masked = !live.empty() && static_cast<int>(live.size()) < nrails;
+  const int sched_n = masked ? static_cast<int>(live.size()) : nrails;
+  const auto pick = [&](int pos) {
+    return masked ? live[static_cast<std::size_t>(pos)] : pos;
+  };
+
   std::vector<Stripe> stripes;
   if (req->lane >= 0) {
     // Multi-lane collective transfer: one un-striped write on the lane's
     // rail, bypassing the policy and leaving its cursor undisturbed (the
     // lanes themselves are the striping).
-    stripes.push_back({req->lane % nrails, base_off, bytes});
+    stripes.push_back({pick(req->lane % sched_n), base_off, bytes});
     return stripes;
   }
 
-  Schedule s = choose_schedule(cfg.policy, static_cast<CommKind>(req->kind), bytes, nrails,
+  Schedule s = choose_schedule(cfg.policy, static_cast<CommKind>(req->kind), bytes, sched_n,
                                cfg.stripe_threshold, net_.cursor(peer));
   if (s.stripe && bytes > 0) {
-    // Striping over the rails (never cutting below min_stripe); stripe sizes
-    // follow the configured rail weights for WeightedStriping, equal shares
-    // otherwise.
-    const int n = static_cast<int>(std::min<std::int64_t>(
-        nrails, std::max<std::int64_t>(1, bytes / cfg.min_stripe)));
-    std::vector<double> w(static_cast<std::size_t>(n), 1.0);
-    if (cfg.policy == Policy::WeightedStriping && !cfg.rail_weights.empty()) {
-      for (int i = 0; i < n; ++i) {
-        w[static_cast<std::size_t>(i)] =
-            cfg.rail_weights[static_cast<std::size_t>(i) % cfg.rail_weights.size()];
-      }
+    // Striping over the candidate rails (never cutting below min_stripe);
+    // stripe sizes follow the configured rail weights for WeightedStriping,
+    // equal shares otherwise.  The split math lives in mvx::plan_stripes so
+    // the failover re-plan and the property tests exercise the same code.
+    static const std::vector<double> kNoWeights;
+    const std::vector<double>& w =
+        cfg.policy == Policy::WeightedStriping ? cfg.rail_weights : kNoWeights;
+    if (masked) {
+      return mvx::plan_stripes(bytes, base_off, live, cfg.min_stripe, w, net_.cursor(peer));
     }
-    double wsum = 0;
-    for (double x : w) wsum += x;
-
-    // When the message cuts into fewer stripes than rails, rotate the base
-    // rail through the peer's cursor so successive transfers spread over all
-    // rails instead of always hammering rails 0..n-1.
-    int base_rail = 0;
-    if (n < nrails) {
-      RailCursor& cur = net_.cursor(peer);
-      base_rail = cur.next % nrails;
-      cur.next = (base_rail + n) % nrails;
-    }
-
-    std::int64_t off = 0;
-    for (int i = 0; i < n; ++i) {
-      const std::int64_t remaining = bytes - off;
-      const int left = n - i;
-      std::int64_t len;
-      if (i + 1 == n) {
-        len = remaining;
-      } else {
-        len = static_cast<std::int64_t>(static_cast<double>(bytes) *
-                                        w[static_cast<std::size_t>(i)] / wsum);
-        // Weight rounding must not produce sub-min_stripe (or zero/negative)
-        // cuts: clamp up to min_stripe and down so every remaining stripe
-        // can still get its minimum.  bytes >= n * min_stripe by the choice
-        // of n, so both bounds are always satisfiable.
-        len = std::max(len, cfg.min_stripe);
-        len = std::min(len, remaining - cfg.min_stripe * (left - 1));
-      }
-      stripes.push_back({(base_rail + i) % nrails, base_off + off, len});
-      off += len;
-    }
-  } else if (cfg.policy == Policy::Adaptive) {
-    stripes.push_back({least_loaded_rail(net_.rail_outstanding(peer)), base_off, bytes});
+    return mvx::plan_stripes(bytes, base_off, sched_n, cfg.min_stripe, w, net_.cursor(peer));
+  }
+  if (cfg.policy == Policy::Adaptive) {
+    const int rail = net_.fault_enabled()
+                         ? least_loaded_rail(net_.rail_outstanding(peer), net_.rail_up(peer))
+                         : least_loaded_rail(net_.rail_outstanding(peer));
+    stripes.push_back({rail, base_off, bytes});
   } else {
-    stripes.push_back({s.rail, base_off, bytes});
+    stripes.push_back({pick(s.rail % sched_n), base_off, bytes});
   }
   return stripes;
 }
@@ -320,6 +320,14 @@ void Rendezvous::start_chunk_writes(int peer, const Request& req, const MsgHeade
                                     const CtsRkeys& rkeys) {
   const Config& cfg = host_.config();
   SendProgress& sp = send_progress_.at(cts.sender_cookie);
+  // Dedup bookkeeping only under fault injection: replays cannot happen in
+  // the fault-free model, and skipping it keeps the fault-free allocation
+  // sequence untouched.
+  if (net_.fault_enabled() &&
+      !chunks_seen_[cts.sender_cookie].insert(cts.chunk).second) {
+    dup_ctl_dropped_.inc();  // replayed CTS for a chunk already in progress
+    return;
+  }
   ++sp.cts_seen;
   cts_chunks_.inc();
 
@@ -414,12 +422,83 @@ void Rendezvous::on_write_done(int peer, std::uint64_t req_id) {
                 host_.rank(), (unsigned long long)cookie, sp.chunks_total);
     for (PinCache::Region* r : sp.pins) pin_cache_->release(r);
     send_progress_.erase(pit);
+    if (net_.fault_enabled()) chunks_seen_.erase(cookie);
     finish_send(peer, cookie, req);
   }
 }
 
+void Rendezvous::on_write_failed(int peer, const RndvStripe& st) {
+  restriped_.inc();
+  RndvStripe retry = st;
+  ++retry.attempts;
+  if (retry.attempts > host_.config().fault.stripe_retry_limit) {
+    throw std::runtime_error("Rendezvous: stripe retry limit exceeded to rank " +
+                             std::to_string(peer));
+  }
+  repost_stripe(peer, retry);
+}
+
+void Rendezvous::repost_stripe(int peer, const RndvStripe& st) {
+  const Config& cfg = host_.config();
+  std::vector<int> live = net_.live_rails(peer);
+  if (live.empty()) {
+    // Total outage: wait one recovery interval and try again (bounded by the
+    // per-stripe attempt budget).
+    RndvStripe retry = st;
+    ++retry.attempts;
+    if (retry.attempts > cfg.fault.stripe_retry_limit) {
+      throw std::runtime_error("Rendezvous: no rail recovered within the stripe retry budget");
+    }
+    sim::Simulator& sim = host_.simulator();
+    sim.at(sim.now() + cfg.fault.rail_recovery,
+           sim::boxed([this, peer, retry] { repost_stripe(peer, retry); }));
+    return;
+  }
+
+  std::vector<Stripe> parts =
+      mvx::plan_stripes(st.len, 0, live, cfg.min_stripe, {}, net_.cursor(peer));
+  if (parts.empty()) parts.push_back({live.front(), 0, st.len});  // zero-byte stripe
+
+  // The failed stripe was already counted once in the in-flight bookkeeping;
+  // splitting it over k live rails adds k-1 writes.  Account them before any
+  // completion can retire the chunk.
+  const int extra = static_cast<int>(parts.size()) - 1;
+  const std::uint64_t cookie = st.req_id & kCookieMask;
+  auto pit = send_progress_.find(cookie);
+  if (pit != send_progress_.end()) {
+    pit->second.chunk_writes.at(static_cast<std::uint32_t>(st.req_id >> 48)) += extra;
+  } else {
+    peek_cookie(cookie)->pending_writes += extra;
+  }
+  stripes_posted_.add(parts.size());
+
+  std::vector<NetChannel::RndvStripe> batch;
+  batch.reserve(parts.size());
+  for (const Stripe& p : parts) {
+    RndvStripe wr = st;  // inherits req_id, lkeys, rkeys, attempts
+    wr.rail = p.rail;
+    wr.src = st.src + p.offset;
+    wr.len = p.len;
+    wr.raddr = st.raddr + static_cast<std::uint64_t>(p.offset);
+    batch.push_back(wr);
+  }
+  host_.schedule_cpu(
+      cfg.wqe_build_cpu * static_cast<std::int64_t>(batch.size()) + cfg.doorbell_cpu,
+      [this, peer, batch = std::move(batch)] { net_.post_write_batch(peer, batch); });
+}
+
 void Rendezvous::on_fin(const MsgHeader& hdr) {
-  Request req = take_cookie(hdr.receiver_cookie);
+  auto oit = outstanding_.find(hdr.receiver_cookie);
+  if (oit == outstanding_.end()) {
+    if (net_.fault_enabled()) {
+      dup_ctl_dropped_.inc();  // replayed FIN for an already-finished receive
+      return;
+    }
+    throw std::logic_error("Rendezvous: unknown request cookie " +
+                           std::to_string(hdr.receiver_cookie));
+  }
+  Request req = oit->second;
+  outstanding_.erase(oit);
   IB12X_DEBUG(host_.simulator().now(), "rank%d: FIN for cookie %llu", host_.rank(),
               (unsigned long long)hdr.receiver_cookie);
   auto it = recv_progress_.find(hdr.receiver_cookie);

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "ib/verbs.hpp"
@@ -54,13 +55,14 @@ class Rendezvous {
   void on_fin(const MsgHeader& hdr);
   /// One stripe write completed on the wire (requester CQE, CPU charged).
   void on_write_done(int peer, std::uint64_t req_id);
+  /// One stripe write failed (error CQE under fault injection): re-plan it
+  /// over the surviving rails and re-post (event context, CPU charged).
+  void on_write_failed(int peer, const RndvStripe& st);
 
-  /// One planned RDMA-write stripe (exposed for stripe-planning tests).
-  struct Stripe {
-    int rail;
-    std::int64_t offset;  ///< absolute offset into the message
-    std::int64_t len;
-  };
+  /// One planned RDMA-write stripe (the planning math lives in
+  /// mvx::plan_stripes; the alias keeps Rendezvous::Stripe spelling valid
+  /// for the stripe-planning tests).
+  using Stripe = mvx::Stripe;
 
  private:
   /// Sender-side pipeline state, keyed by sender cookie (only present while
@@ -93,6 +95,9 @@ class Rendezvous {
                           const CtsRkeys& rkeys);
   /// Sends FIN and completes the local send request.
   void finish_send(int peer, std::uint64_t cookie, const Request& req);
+  /// Re-plans a failed stripe over the live rails and posts the pieces; if
+  /// no rail is alive, parks itself until the recovery interval elapses.
+  void repost_stripe(int peer, const RndvStripe& st);
 
   std::uint64_t new_cookie(const Request& req);
   Request take_cookie(std::uint64_t id);
@@ -104,6 +109,11 @@ class Rendezvous {
   std::unique_ptr<PinCache> pin_cache_;
   std::map<std::uint64_t, Request> outstanding_;
   std::map<std::uint64_t, SendProgress> send_progress_;
+  /// Chunks whose CTS has been processed, keyed by sender cookie — replayed
+  /// CTSes (fault-injection retries of control messages that did arrive) are
+  /// dropped here.  Kept out of SendProgress, and only touched under fault
+  /// injection, so fault-free allocation sizes are unchanged.
+  std::map<std::uint64_t, std::set<std::uint32_t>> chunks_seen_;
   std::map<std::uint64_t, RecvProgress> recv_progress_;
   std::map<std::uint64_t, PinCache::Region*> send_pins_;  ///< legacy-mode sender pins
   std::uint64_t next_cookie_ = 1;
@@ -116,6 +126,8 @@ class Rendezvous {
   Counter& reg_evictions_;
   Counter& cts_chunks_;
   Counter& pipeline_depth_;  ///< high-water mark of chunks in flight (track_max)
+  Counter& dup_ctl_dropped_;  ///< replayed CTS/FIN duplicates discarded
+  Counter& restriped_;        ///< failed stripes re-planned over live rails
 };
 
 }  // namespace ib12x::mvx

@@ -36,6 +36,18 @@ std::uint64_t TelemetryRegistry::counter_value(const std::string& name) const {
   return sum;
 }
 
+TelemetryRegistry::ScopedReset::ScopedReset(TelemetryRegistry& reg) {
+  saved_.reserve(reg.counters_.size());
+  for (const NamedCounter& c : reg.counters_) {
+    saved_.emplace_back(c.counter.get(), c.counter->value_);
+    c.counter->value_ = 0;
+  }
+}
+
+TelemetryRegistry::ScopedReset::~ScopedReset() {
+  for (const auto& [counter, value] : saved_) counter->value_ += value;
+}
+
 void TelemetryRegistry::dump(std::FILE* out, const char* title) const {
   const std::vector<Sample> samples = snapshot();
   std::size_t width = 0;

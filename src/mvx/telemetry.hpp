@@ -14,6 +14,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace ib12x::mvx {
@@ -66,6 +67,23 @@ class TelemetryRegistry {
 
   /// Human-readable per-layer breakdown table.
   void dump(std::FILE* out, const char* title = "telemetry") const;
+
+  /// Zeroes every registered counter for the scope's lifetime and restores
+  /// the saved values (adding back anything accumulated inside the scope) on
+  /// exit, so per-case assertions in tests don't depend on what earlier
+  /// cases did while the registry's global totals stay monotonic.  Counters
+  /// registered *inside* the scope are left untouched on exit.
+  class ScopedReset {
+   public:
+    explicit ScopedReset(TelemetryRegistry& reg);
+    ~ScopedReset();
+
+    ScopedReset(const ScopedReset&) = delete;
+    ScopedReset& operator=(const ScopedReset&) = delete;
+
+   private:
+    std::vector<std::pair<Counter*, std::uint64_t>> saved_;
+  };
 
  private:
   struct NamedCounter {

@@ -1,8 +1,11 @@
 #include "mvx/world.hpp"
 
+#include <memory>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 
+#include "ib/fault.hpp"
 #include "ib/hca.hpp"
 #include "mvx/coll/engine.hpp"
 #include "sim/time.hpp"
@@ -21,6 +24,32 @@ World::World(ClusterSpec spec, Config cfg) : spec_(spec), cfg_(cfg) {
     for (int h = 0; h < cfg_.hcas_per_node; ++h) {
       node_hcas_[static_cast<std::size_t>(n)].push_back(&fabric_->add_hca(n));
     }
+  }
+
+  if (cfg_.fault.enabled) {
+    if (cfg_.use_srq) {
+      throw std::invalid_argument("World: fault injection does not support SRQ mode");
+    }
+    ib::FaultPlan::Params fp;
+    fp.seed = cfg_.fault.seed;
+    fp.msg_error_rate = cfg_.fault.msg_error_rate;
+    fp.ack_drop_fraction = cfg_.fault.ack_drop_fraction;
+    fp.retry_latency = cfg_.fault.retry_latency;
+    auto plan = std::make_unique<ib::FaultPlan>(fp);
+    for (const Config::FaultConfig::LinkFlap& f : cfg_.fault.link_flaps) {
+      ib::Hca* hca = node_hcas_.at(static_cast<std::size_t>(f.node))
+                         .at(static_cast<std::size_t>(f.hca));
+      plan->add_link_event(f.down_at, hca, f.port, /*up=*/false);
+      if (f.up_at > f.down_at) plan->add_link_event(f.up_at, hca, f.port, /*up=*/true);
+    }
+    plan->arm(sim_);
+    ib::FaultPlan* raw = plan.get();
+    fabric_->attach_fault(std::move(plan));
+    tel_.gauge("fault.injected_errors",
+               [raw] { return static_cast<double>(raw->injected_errors()); });
+    tel_.gauge("fault.link_transitions",
+               [raw] { return static_cast<double>(raw->link_transitions()); });
+    tel_.gauge("fault.rnr_drops", [raw] { return static_cast<double>(raw->rnr_drops()); });
   }
 
   for (int r = 0; r < spec_.total_ranks(); ++r) {

@@ -1,0 +1,193 @@
+// Seeded fault soak: mixed eager/rendezvous/collective traffic while rails
+// flap on a randomized (but fully seeded) schedule and a per-message error
+// rate chews on WQEs.  Three properties are asserted per seed:
+//   1. zero corruption — every pt2pt payload and collective result is
+//      byte-exact despite retries, re-striping and duplicate suppression;
+//   2. the failover ledger balances — every error CQE on the send side is
+//      handled by exactly one eager replay or one rendezvous re-stripe;
+//   3. the whole run is bit-reproducible — same seed, same end time, same
+//      telemetry snapshot (virtual-time state only; sim.wall.* excluded).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "mvx/mpi.hpp"
+#include "mvx_test_util.hpp"
+#include "sim/rng.hpp"
+
+namespace ib12x::mvx {
+namespace {
+
+using testutil::payload;
+
+struct Plan {
+  int src, dst, tag;
+  std::size_t bytes;
+  bool nonblocking;
+};
+
+/// Identical global pt2pt plan on every rank, derived from the seed.
+std::vector<Plan> make_plan(std::uint64_t seed, int ranks, int messages) {
+  sim::Rng rng(seed);
+  std::vector<Plan> plan;
+  for (int i = 0; i < messages; ++i) {
+    Plan p;
+    p.src = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(ranks)));
+    p.dst = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(ranks - 1)));
+    if (p.dst >= p.src) ++p.dst;
+    p.tag = i;
+    switch (rng.next_below(4)) {
+      case 0: p.bytes = 1 + rng.next_below(512); break;                    // eager
+      case 1: p.bytes = 4 * 1024 + rng.next_below(16 * 1024); break;       // straddle
+      case 2: p.bytes = 32 * 1024 + rng.next_below(96 * 1024); break;      // rendezvous
+      default: p.bytes = 256 * 1024 + rng.next_below(256 * 1024); break;   // striped rndv
+    }
+    p.nonblocking = rng.next_below(2) == 0;
+    plan.push_back(p);
+  }
+  return plan;
+}
+
+/// Randomized rail-flap schedule: 2–4 link flaps spread over both nodes'
+/// HCAs, landing while the traffic above is in flight.  Flapping one HCA's
+/// port kills half the rails (hcas_per_node = 2); the other half survives.
+Config make_faulty_config(std::uint64_t seed) {
+  Config cfg = Config::enhanced(2, Policy::EPC);
+  cfg.hcas_per_node = 2;  // 2 HCAs × 1 port × 2 QPs = 4 rails per peer
+  cfg.fault.enabled = true;
+  cfg.fault.seed = seed ^ 0xfa17;
+  cfg.fault.msg_error_rate = 0.03;
+  sim::Rng rng(seed * 2654435761u + 17);
+  const int flaps = 2 + static_cast<int>(rng.next_below(3));
+  for (int i = 0; i < flaps; ++i) {
+    Config::FaultConfig::LinkFlap f;
+    f.node = static_cast<int>(rng.next_below(2));
+    f.hca = static_cast<int>(rng.next_below(2));
+    f.port = 0;
+    f.down_at = sim::microseconds(30.0 + static_cast<double>(rng.next_below(400)));
+    f.up_at = f.down_at + sim::microseconds(20.0 + static_cast<double>(rng.next_below(120)));
+    cfg.fault.link_flaps.push_back(f);
+  }
+  return cfg;
+}
+
+struct SoakResult {
+  sim::Time end_time = 0;
+  std::vector<std::pair<std::string, double>> snapshot;  ///< sim.wall.* excluded
+  std::uint64_t send_errors = 0;
+  std::uint64_t eager_retries = 0;
+  std::uint64_t restriped = 0;
+  std::uint64_t injected = 0;
+};
+
+SoakResult run_soak(std::uint64_t seed, int messages) {
+  World w(ClusterSpec{2, 2}, make_faulty_config(seed));
+  w.run([&](Communicator& c) {
+    const auto plan = make_plan(seed, c.size(), messages);
+    std::vector<std::size_t> my_recvs, my_sends;
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      if (plan[i].dst == c.rank()) my_recvs.push_back(i);
+      if (plan[i].src == c.rank()) my_sends.push_back(i);
+    }
+    // Shuffled posting order exercises the unexpected queue under faults.
+    sim::Rng shuffle(seed ^ (0x50a6u + static_cast<std::uint64_t>(c.rank())));
+    for (std::size_t i = my_recvs.size(); i > 1; --i) {
+      std::swap(my_recvs[i - 1], my_recvs[shuffle.next_below(i)]);
+    }
+
+    std::vector<std::vector<std::byte>> rbufs(my_recvs.size());
+    std::vector<Request> rreqs;
+    for (std::size_t k = 0; k < my_recvs.size(); ++k) {
+      const Plan& p = plan[my_recvs[k]];
+      rbufs[k].resize(p.bytes);
+      rreqs.push_back(c.irecv(rbufs[k].data(), p.bytes, BYTE, p.src, p.tag));
+    }
+    std::vector<std::vector<std::byte>> sbufs;
+    std::vector<Request> sreqs;
+    for (std::size_t idx : my_sends) {
+      const Plan& p = plan[idx];
+      sbufs.push_back(payload(p.bytes, p.src, p.tag));
+      if (p.nonblocking) {
+        sreqs.push_back(c.isend(sbufs.back().data(), p.bytes, BYTE, p.dst, p.tag));
+      } else {
+        c.send(sbufs.back().data(), p.bytes, BYTE, p.dst, p.tag);
+      }
+    }
+    c.waitall(sreqs);
+    c.waitall(rreqs);
+    for (std::size_t k = 0; k < my_recvs.size(); ++k) {
+      const Plan& p = plan[my_recvs[k]];
+      ASSERT_EQ(rbufs[k], payload(p.bytes, p.src, p.tag))
+          << "seed " << seed << " msg " << my_recvs[k] << " (" << p.src << "->" << p.dst
+          << ", " << p.bytes << " B)";
+    }
+
+    // Collectives ride the same faulted rails: a striped-size allreduce and
+    // a large bcast, both with checkable results.
+    const std::size_t n = 16 * 1024;
+    std::vector<double> in(n, 1.0 + c.rank()), out(n, 0.0);
+    c.allreduce(in.data(), out.data(), n, DOUBLE, Op::Sum);
+    const double want = static_cast<double>(c.size() * (c.size() + 1)) / 2.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(out[i], want) << "seed " << seed << " allreduce[" << i << "]";
+    }
+    std::vector<std::byte> big =
+        c.rank() == 0 ? payload(512 * 1024, 0, 777) : std::vector<std::byte>(512 * 1024);
+    c.bcast(big.data(), big.size(), BYTE, 0);
+    ASSERT_EQ(big, payload(512 * 1024, 0, 777)) << "seed " << seed << " bcast";
+    c.barrier();
+  });
+
+  SoakResult res;
+  res.end_time = w.end_time();
+  for (const auto& s : w.telemetry().snapshot()) {
+    if (s.name.rfind("sim.wall.", 0) == 0) continue;
+    res.snapshot.emplace_back(s.name, s.value);
+  }
+  res.send_errors = w.telemetry().counter_value("fault.send_errors");
+  res.eager_retries = w.telemetry().counter_value("fault.eager_retries");
+  res.restriped = w.telemetry().counter_value("fault.rndv_restriped");
+  res.injected = static_cast<std::uint64_t>(
+      w.telemetry().counter_value("rail.down"));  // link flaps actually bit
+  return res;
+}
+
+class FaultSoak : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultSoak, PayloadsIntactAndLedgerBalances) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam()) * 6364136223846793005ull + 11;
+  const SoakResult r = run_soak(seed, /*messages=*/48);
+  // The schedule is tuned so every seed actually exercises the machinery.
+  EXPECT_GT(r.send_errors, 0u) << "seed " << seed << " injected no send-side faults";
+  // Every error CQE was handled by exactly one replay mechanism.
+  EXPECT_EQ(r.send_errors, r.eager_retries + r.restriped) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultSoak, ::testing::Range(0, 6));
+
+TEST(FaultSoak, BitReproduciblePerSeed) {
+  const SoakResult a = run_soak(0x5eed0001, 40);
+  const SoakResult b = run_soak(0x5eed0001, 40);
+  EXPECT_EQ(a.end_time, b.end_time);
+  ASSERT_EQ(a.snapshot.size(), b.snapshot.size());
+  for (std::size_t i = 0; i < a.snapshot.size(); ++i) {
+    EXPECT_EQ(a.snapshot[i].first, b.snapshot[i].first);
+    EXPECT_EQ(a.snapshot[i].second, b.snapshot[i].second)
+        << "counter " << a.snapshot[i].first << " diverged between identical runs";
+  }
+}
+
+TEST(FaultSoak, DistinctSeedsTakeDistinctFaultPaths) {
+  // Not a correctness property per se, but a canary: if two different seeds
+  // produce identical fault telemetry, the plan generator is likely ignoring
+  // its seed.
+  const SoakResult a = run_soak(0xaaaa, 32);
+  const SoakResult b = run_soak(0xbbbb, 32);
+  EXPECT_NE(std::tie(a.end_time, a.send_errors), std::tie(b.end_time, b.send_errors));
+}
+
+}  // namespace
+}  // namespace ib12x::mvx

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+
 namespace ib12x::mvx {
 namespace {
 
@@ -152,6 +158,108 @@ TEST(Policy, FullScheduleTable) {
       EXPECT_EQ(cur.next, 0);
     }
   }
+}
+
+// Property-style invariant sweep over the stripe planner: a seeded generator
+// draws (rail count × live-rail mask × size × floor × weights × base offset)
+// and every plan must (a) cover the message exactly — contiguous offsets,
+// lengths summing to the byte count, (b) never cut a stripe below the floor,
+// (c) place stripes only on live rails, at most once per rail, and (d) agree
+// with the identity-rail overload modulo the live-list remap.
+TEST(Policy, StripePlanInvariantsHoldForAllLiveMasks) {
+  sim::Rng rng(0x57121fe5);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const int nrails = 1 + static_cast<int>(rng.next_below(6));
+    // Non-empty subset of [0, nrails) — the surviving rails under failover.
+    std::vector<int> live;
+    for (int r = 0; r < nrails; ++r) {
+      if (rng.next_below(2) == 0) live.push_back(r);
+    }
+    if (live.empty()) live.push_back(static_cast<int>(rng.next_below(static_cast<std::uint64_t>(nrails))));
+
+    const std::int64_t min_stripe = 512LL << rng.next_below(4);  // 512..4096
+    std::int64_t bytes = 0;
+    switch (rng.next_below(4)) {
+      case 0: bytes = 1 + static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(min_stripe))); break;
+      case 1: bytes = min_stripe * static_cast<std::int64_t>(live.size()); break;  // exact fit
+      case 2: bytes = 1 + static_cast<std::int64_t>(rng.next_below(256 * 1024)); break;
+      default: bytes = 1 + static_cast<std::int64_t>(rng.next_below(4 << 20)); break;
+    }
+    std::vector<double> weights;
+    if (rng.next_below(3) == 0) {
+      weights.resize(1 + rng.next_below(4));
+      for (double& w : weights) w = 0.25 * static_cast<double>(1 + rng.next_below(16));
+    }
+    const std::int64_t base_off = static_cast<std::int64_t>(rng.next_below(1 << 20));
+    RailCursor cursor{static_cast<int>(rng.next_below(static_cast<std::uint64_t>(live.size())))};
+    RailCursor id_cursor = cursor;
+
+    const std::vector<Stripe> plan =
+        plan_stripes(bytes, base_off, live, min_stripe, weights, cursor);
+    const auto label = [&] {
+      return "iter " + std::to_string(iter) + " bytes=" + std::to_string(bytes) +
+             " live=" + std::to_string(live.size()) + "/" + std::to_string(nrails) +
+             " floor=" + std::to_string(min_stripe);
+    };
+
+    ASSERT_FALSE(plan.empty()) << label();
+    ASSERT_LE(plan.size(), live.size()) << label();
+    // (a) exact contiguous coverage from base_off.
+    std::int64_t off = base_off, total = 0;
+    for (const Stripe& s : plan) {
+      EXPECT_EQ(s.offset, off) << label();
+      EXPECT_GT(s.len, 0) << label();
+      off += s.len;
+      total += s.len;
+    }
+    EXPECT_EQ(total, bytes) << label();
+    // (b) the floor binds whenever the message is big enough to honour it.
+    if (plan.size() > 1 || bytes >= min_stripe) {
+      for (const Stripe& s : plan) EXPECT_GE(s.len, min_stripe) << label();
+    }
+    // (c) live rails only, no rail twice.
+    std::vector<int> used;
+    for (const Stripe& s : plan) {
+      EXPECT_NE(std::find(live.begin(), live.end(), s.rail), live.end())
+          << label() << " dead rail " << s.rail;
+      EXPECT_EQ(std::find(used.begin(), used.end(), s.rail), used.end())
+          << label() << " rail " << s.rail << " used twice";
+      used.push_back(s.rail);
+    }
+    // (d) the identity overload is the same plan in list-position space.
+    const std::vector<Stripe> id_plan = plan_stripes(
+        bytes, base_off, static_cast<int>(live.size()), min_stripe, weights, id_cursor);
+    ASSERT_EQ(id_plan.size(), plan.size()) << label();
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      EXPECT_EQ(plan[i].rail, live[static_cast<std::size_t>(id_plan[i].rail)]) << label();
+      EXPECT_EQ(plan[i].offset, id_plan[i].offset) << label();
+      EXPECT_EQ(plan[i].len, id_plan[i].len) << label();
+    }
+    EXPECT_EQ(cursor.next, id_cursor.next) << label();
+  }
+}
+
+TEST(Policy, StripePlanDegenerateInputs) {
+  RailCursor cur;
+  EXPECT_TRUE(plan_stripes(0, 0, 4, 2048, {}, cur).empty());
+  EXPECT_TRUE(plan_stripes(-5, 0, 4, 2048, {}, cur).empty());
+  EXPECT_TRUE(plan_stripes(1 << 20, 0, 0, 2048, {}, cur).empty());
+  EXPECT_TRUE(plan_stripes(1 << 20, 0, std::vector<int>{}, 2048, {}, cur).empty());
+  // A sub-floor message still travels: one stripe carrying everything.
+  const auto tiny = plan_stripes(100, 64, std::vector<int>{3}, 2048, {}, cur);
+  ASSERT_EQ(tiny.size(), 1u);
+  EXPECT_EQ(tiny[0].rail, 3);
+  EXPECT_EQ(tiny[0].offset, 64);
+  EXPECT_EQ(tiny[0].len, 100);
+}
+
+TEST(Policy, LeastLoadedRailHonoursLiveMask) {
+  const std::vector<std::int64_t> load = {10, 0, 5, 7};
+  EXPECT_EQ(least_loaded_rail(load), 1);
+  EXPECT_EQ(least_loaded_rail(load, {1, 0, 1, 1}), 2);  // rail 1 down
+  EXPECT_EQ(least_loaded_rail(load, {1, 0, 0, 1}), 3);
+  // All down: fall back to the unmasked pick (recovery will re-arm a rail).
+  EXPECT_EQ(least_loaded_rail(load, {0, 0, 0, 0}), 1);
 }
 
 TEST(Policy, Names) {

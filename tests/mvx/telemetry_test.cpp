@@ -99,5 +99,57 @@ TEST(Telemetry, DumpIsDeterministic) {
   EXPECT_LT(out.find("net.eager_sent"), out.find("rndv.rts_sent"));
 }
 
+TEST(Telemetry, ScopedResetZeroesAndRestores) {
+  TelemetryRegistry tel;
+  Counter& a = tel.counter("layer.a");
+  Counter& b = tel.counter("layer.b");
+  a.inc(10);
+  b.inc(3);
+  {
+    TelemetryRegistry::ScopedReset scope(tel);
+    // Inside the scope each counter reads as if the registry were fresh, so
+    // per-case assertions don't depend on what earlier cases did.
+    EXPECT_EQ(a.value(), 0u);
+    EXPECT_EQ(b.value(), 0u);
+    a.inc(2);
+    EXPECT_EQ(tel.counter_value("layer.a"), 2u);
+  }
+  // On exit the saved values come back and in-scope increments are kept:
+  // the registry's global totals stay monotonic.
+  EXPECT_EQ(a.value(), 12u);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(Telemetry, ScopedResetLeavesCountersRegisteredInsideUntouched) {
+  TelemetryRegistry tel;
+  Counter& old_c = tel.counter("old");
+  old_c.inc(7);
+  Counter* fresh = nullptr;
+  {
+    TelemetryRegistry::ScopedReset scope(tel);
+    fresh = &tel.counter("fresh");
+    fresh->inc(4);
+  }
+  EXPECT_EQ(old_c.value(), 7u);
+  EXPECT_EQ(fresh->value(), 4u);  // not part of the scope's save set
+}
+
+TEST(Telemetry, ScopedResetNests) {
+  TelemetryRegistry tel;
+  Counter& c = tel.counter("n");
+  c.inc(5);
+  {
+    TelemetryRegistry::ScopedReset outer(tel);
+    c.inc(1);
+    {
+      TelemetryRegistry::ScopedReset inner(tel);
+      EXPECT_EQ(c.value(), 0u);
+      c.inc(2);
+    }
+    EXPECT_EQ(c.value(), 3u);  // inner's save (1) + inner increments (2)
+  }
+  EXPECT_EQ(c.value(), 8u);
+}
+
 }  // namespace
 }  // namespace ib12x::mvx
