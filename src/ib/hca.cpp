@@ -18,13 +18,64 @@ void SharedReceiveQueue::post(const RecvWr& wr) {
     throw std::runtime_error("SharedReceiveQueue overflow");
   }
   queue_.push_back(wr);
+  if (!stalled_.empty()) drain_stalled();
 }
 
 bool SharedReceiveQueue::pop(RecvWr& out) {
   if (queue_.empty()) return false;
   out = queue_.front();
   queue_.pop_front();
+  if (armed_ && static_cast<int>(queue_.size()) < limit_) {
+    // Verbs semantics: the limit event is asynchronous (it surfaces on the
+    // async event channel, not inline with the consuming work request) and
+    // one-shot — it disarms until the consumer re-arms after reposting.
+    armed_ = false;
+    ++limit_events_;
+    if (limit_handler_) {
+      sim::Simulator& sim = hca_->simulator();
+      sim.at(sim.now(), limit_handler_);
+    }
+  }
   return true;
+}
+
+void SharedReceiveQueue::arm_limit(int limit) {
+  limit_ = limit;
+  armed_ = limit > 0;
+}
+
+void SharedReceiveQueue::stall(QueuePair* dst, const SendWr& wr, QpNum src_qp_num) {
+  Stalled s;
+  s.dst = dst;
+  s.src_qp = src_qp_num;
+  s.wr = wr;
+  if (wr.length > 0) {
+    // The sender's bounce buffer recycles at its (already successful) CQE,
+    // so the parked message must own its wire image.
+    s.payload.assign(wr.src, wr.src + wr.length);
+    s.wr.src = s.payload.data();
+  }
+  stalled_.push_back(std::move(s));
+  ++total_stalls_;
+  if (stall_hook_) stall_hook_();
+}
+
+void SharedReceiveQueue::drain_stalled() {
+  // One scan per drain: an entry whose destination QP is flushing (error
+  // state) rotates to the back — its sender already completed successfully,
+  // so dropping it would lose data; it redelivers once the QP recovers.
+  std::size_t scan = stalled_.size();
+  while (scan-- > 0 && !queue_.empty()) {
+    Stalled s = std::move(stalled_.front());
+    stalled_.pop_front();
+    if (s.dst->state() != QpState::Ready) {
+      stalled_.push_back(std::move(s));
+      continue;
+    }
+    // Redeliver through the normal path; the WQE now exists so this consumes
+    // it.  The payload copy keeps the wire image alive past the sender CQE.
+    (void)s.dst->port().deliver(s.dst, s.wr, s.src_qp);
+  }
 }
 
 void QueuePair::post_send(const SendWr& wr) {
@@ -487,16 +538,31 @@ bool Port::deliver(QueuePair* dst_qp, const SendWr& wr, QpNum src_qp_num) {
     if (!consumes_recv) return true;  // plain RDMA write: invisible to the responder
   }
 
-  if (consumes_recv && hca_->fabric().fault_plan() != nullptr) {
-    // With fault injection active, RNR (no receive posted — possible in the
-    // recovery window after a flush, before the consumer reposts its slots)
-    // becomes a modelled drop: retries exhaust and the requester completes in
-    // error.  Without a plan the condition still indicates a substrate bug
-    // and take_recv_wqe() throws.
-    const bool have_recv =
-        dst_qp->srq_ != nullptr ? dst_qp->srq_->pending() > 0 : !dst_qp->rq_.empty();
-    if (!have_recv) {
-      hca_->fabric().fault_plan()->count_rnr_drop();
+  if (consumes_recv) {
+    FaultPlan* plan = hca_->fabric().fault_plan();
+    if (plan != nullptr && dst_qp->state_ == QpState::Error) {
+      // The responder QP is flushing (link fault): the message is NAKed, the
+      // requester's retries exhaust and it completes in error.  Matches the
+      // per-QP-RQ mode, where the flush leaves the RQ empty; the SRQ pool
+      // stays populated for the surviving QPs, so state is what gates here.
+      plan->count_rnr_drop();
+      return false;
+    }
+    if (dst_qp->srq_ != nullptr) {
+      if (dst_qp->srq_->pending() == 0) {
+        // Shared pool ran dry: RNR backpressure, not an error.  The message
+        // parks (payload copied) and redelivers FIFO as slots are reposted —
+        // the responder's RNR NAK + requester retry loop, collapsed.
+        dst_qp->srq_->stall(dst_qp, wr, src_qp_num);
+        return true;
+      }
+    } else if (plan != nullptr && dst_qp->rq_.empty()) {
+      // With fault injection active, RNR (no receive posted — possible in the
+      // recovery window after a flush, before the consumer reposts its slots)
+      // becomes a modelled drop: retries exhaust and the requester completes
+      // in error.  Without a plan the condition still indicates a substrate
+      // bug and take_recv_wqe() throws.
+      plan->count_rnr_drop();
       return false;
     }
   }
@@ -554,7 +620,7 @@ QueuePair& Hca::create_qp(int port_idx, CompletionQueue& scq, CompletionQueue& r
 }
 
 SharedReceiveQueue& Hca::create_srq() {
-  srqs_.push_back(std::make_unique<SharedReceiveQueue>(params_.max_recv_wqes));
+  srqs_.push_back(std::make_unique<SharedReceiveQueue>(*this, params_.max_recv_wqes));
   return *srqs_.back();
 }
 

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -35,6 +36,7 @@ class Hca;
 class Port;
 class Fabric;
 class FaultPlan;
+class QueuePair;
 struct Transfer;  // per-message pipeline state (hca.cpp)
 
 /// Queue-pair state, reduced to the two states the fault model needs.
@@ -42,18 +44,71 @@ struct Transfer;  // per-message pipeline state (hca.cpp)
 /// entered on an injected link/QP fault and flushes both work queues.
 enum class QpState : std::uint8_t { Ready, Error };
 
-/// Receive queue shared between QPs on one HCA (verbs SRQ).
+/// Receive queue shared between QPs on one HCA (verbs SRQ), including the
+/// two behaviours the scaled eager path needs:
+///
+///  * the `srq_limit` low-watermark event (IBV_EVENT_SRQ_LIMIT_REACHED): when
+///    a pop leaves fewer than `limit` WQEs and the limit is armed, the handler
+///    fires once asynchronously and the limit disarms until re-armed — the
+///    consumer's cue to batch-repost drained slots;
+///  * RNR backpressure: an inbound message that meets an empty SRQ is parked
+///    (payload copied — the sender's bounce buffer recycles at its CQE) and
+///    redelivered FIFO as new WQEs are posted, modelling the responder's
+///    RNR NAK + requester retry without fabricating an error.
 class SharedReceiveQueue {
  public:
-  explicit SharedReceiveQueue(int capacity) : capacity_(capacity) {}
+  SharedReceiveQueue(Hca& hca, int capacity) : hca_(&hca), capacity_(capacity) {}
 
   void post(const RecvWr& wr);
   bool pop(RecvWr& out);
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
 
+  /// Handler for the asynchronous limit-reached event (fires from the event
+  /// queue, never from inside pop()).
+  void set_limit_handler(std::function<void()> h) { limit_handler_ = std::move(h); }
+  /// Arms the low watermark: the next pop that leaves pending() < limit
+  /// schedules the handler and disarms.  limit <= 0 disarms.
+  void arm_limit(int limit);
+  /// Called on every stall (inbound message parked on an empty queue);
+  /// consumers hang telemetry on it.
+  void set_stall_hook(std::function<void()> h) { stall_hook_ = std::move(h); }
+  /// Redelivers parked messages if WQEs are available.  Recovery path: a QP
+  /// reset cleared its error state, but nothing has posted to the SRQ since,
+  /// so no drain has run and a parked message could otherwise wait forever.
+  void kick() {
+    if (!stalled_.empty()) drain_stalled();
+  }
+
+  [[nodiscard]] std::size_t stalled() const { return stalled_.size(); }
+  [[nodiscard]] std::uint64_t total_stalls() const { return total_stalls_; }
+  [[nodiscard]] std::uint64_t limit_events() const { return limit_events_; }
+
  private:
+  friend class Port;
+
+  /// Parks one inbound message until a WQE is posted (Port::deliver).
+  void stall(QueuePair* dst, const SendWr& wr, QpNum src_qp_num);
+  /// Redelivers the oldest stalled message; called after each post while
+  /// both a WQE and a stalled message exist.
+  void drain_stalled();
+
+  struct Stalled {
+    QueuePair* dst = nullptr;
+    QpNum src_qp = 0;
+    SendWr wr;                       ///< wr.src repointed at `payload`
+    std::vector<std::byte> payload;  ///< owned copy of the wire image
+  };
+
+  Hca* hca_;
   int capacity_;
   std::deque<RecvWr> queue_;
+  std::deque<Stalled> stalled_;
+  std::function<void()> limit_handler_;
+  std::function<void()> stall_hook_;
+  int limit_ = 0;
+  bool armed_ = false;
+  std::uint64_t total_stalls_ = 0;
+  std::uint64_t limit_events_ = 0;
 };
 
 /// Reliable-connection queue pair.  Created unconnected; Fabric::connect
@@ -156,6 +211,7 @@ class Port {
   friend class Hca;
   friend class QueuePair;
   friend class Fabric;
+  friend class SharedReceiveQueue;  ///< redelivery of stalled SRQ messages
 
   Port(Hca& hca, int index);
 

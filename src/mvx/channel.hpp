@@ -79,6 +79,13 @@ class ChannelHost {
     (void)st;
   }
 
+  /// A send-side eager resource (bounce buffer, credit, rail) returned to
+  /// the pool.  Hosts with a lazy connection manager override this to flush
+  /// sends queued behind resource exhaustion; the pool is shared across
+  /// peers, so an implementation must consider every queued peer, not just
+  /// `peer`.  Event context.  Default no-op.
+  virtual void on_eager_resources_freed(int peer) { (void)peer; }
+
   /// Marks `req` complete and wakes waiters.
   virtual void complete_request(const Request& req) = 0;
 

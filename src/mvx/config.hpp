@@ -38,9 +38,26 @@ struct Config {
   std::vector<double> rail_weights;
 
   /// Take inbound eager buffers from one shared receive queue per HCA
-  /// instead of per-QP receive queues (same protocol, less buffer memory —
-  /// the SRQ mechanism of §2.1).
-  bool use_srq = false;
+  /// instead of per-QP receive queues (same protocol, O(1) instead of
+  /// O(peers) buffer memory — the SRQ mechanism of §2.1).  On by default
+  /// since the connection-scaling refactor; `use_srq = false` together with
+  /// `lazy_connect = false` recovers the legacy per-peer wiring exactly.
+  bool use_srq = true;
+  /// SRQ mode: pooled eager receive slots per local HCA (the shared arena
+  /// replacing the per-QP `eager_credits` slots).
+  int srq_pool_slots = 256;
+  /// SRQ mode: low watermark arming the asynchronous limit-reached event
+  /// (verbs srq_limit).  Drained slots are reposted in one batch when the
+  /// pool's pending count falls below this; <= 0 reposts each slot
+  /// immediately after its CQE (no batching).
+  int srq_limit = 32;
+
+  /// Establish connections (QPs, rails, fast-path rings) to a peer on first
+  /// send or first matched receive instead of all-pairs at startup, via a
+  /// modelled out-of-band handshake of `conn_setup_latency`.  Sends posted
+  /// before the handshake completes queue per peer and flush FIFO.
+  bool lazy_connect = true;
+  sim::Time conn_setup_latency = sim::microseconds(25.0);
 
   /// MVAPICH's adaptive RDMA fast path: small eager messages are RDMA-written
   /// into a per-peer ring the receiver polls, bypassing the responder's

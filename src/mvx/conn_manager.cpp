@@ -1,0 +1,97 @@
+#include "mvx/conn_manager.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace ib12x::mvx {
+
+ConnManager::ConnManager(ChannelHost& host)
+    : host_(host),
+      established_(host.telemetry().counter("conn.established")),
+      inflight_hwm_(host.telemetry().counter("conn.handshakes_inflight")) {}
+
+ConnManager::State ConnManager::state(int peer) const {
+  auto it = peers_.find(peer);
+  return it == peers_.end() ? State::Unconnected : it->second.st;
+}
+
+bool ConnManager::has_queued(int peer) const {
+  auto it = peers_.find(peer);
+  return it != peers_.end() && !it->second.q.empty();
+}
+
+std::size_t ConnManager::queued(int peer) const {
+  auto it = peers_.find(peer);
+  return it == peers_.end() ? 0 : it->second.q.size();
+}
+
+std::vector<int> ConnManager::queued_peers() const {
+  std::vector<int> out;
+  for (const auto& [rank, pc] : peers_) {
+    if (!pc.q.empty()) out.push_back(rank);
+  }
+  return out;
+}
+
+void ConnManager::initiate(int peer) {
+  PeerConn& pc = peers_[peer];
+  if (pc.st != State::Unconnected) return;
+  pc.st = State::Connecting;
+  ++inflight_;
+  inflight_hwm_.track_max(static_cast<std::uint64_t>(inflight_));
+  sim::Simulator& sim = host_.simulator();
+  sim.at(sim.now() + host_.config().conn_setup_latency,
+         [this, peer] { complete_handshake(peer); });
+}
+
+void ConnManager::complete_handshake(int peer) {
+  --inflight_;
+  PeerConn& pc = peers_[peer];
+  if (pc.st == State::Ready) {
+    // Simultaneous connect: the peer's handshake landed first and its wire
+    // function already built this pair (and marked us Ready).  Nothing to
+    // wire — just make sure anything queued meanwhile drains.
+    if (flush_fn_) flush_fn_(peer);
+    return;
+  }
+  if (!wire_fn_) {
+    throw std::logic_error("ConnManager: handshake completed with no wire function");
+  }
+  // wire_fn_ wires both endpoints of the pair and calls mark_ready on both
+  // managers (which flushes this side's queue).
+  wire_fn_(peer);
+  if (pc.st != State::Ready) {
+    throw std::logic_error("ConnManager: wire function left peer " + std::to_string(peer) +
+                           " not Ready");
+  }
+}
+
+void ConnManager::mark_ready(int peer) {
+  PeerConn& pc = peers_[peer];
+  if (pc.st == State::Ready) return;
+  pc.st = State::Ready;
+  established_.inc();
+  if (flush_fn_) flush_fn_(peer);
+}
+
+void ConnManager::enqueue(int peer, QueuedSend qs) {
+  peers_[peer].q.push_back(std::move(qs));
+}
+
+QueuedSend& ConnManager::front(int peer) {
+  auto it = peers_.find(peer);
+  if (it == peers_.end() || it->second.q.empty()) {
+    throw std::logic_error("ConnManager: front() on empty queue");
+  }
+  return it->second.q.front();
+}
+
+void ConnManager::pop_front(int peer) {
+  auto it = peers_.find(peer);
+  if (it == peers_.end() || it->second.q.empty()) {
+    throw std::logic_error("ConnManager: pop_front() on empty queue");
+  }
+  it->second.q.pop_front();
+}
+
+}  // namespace ib12x::mvx

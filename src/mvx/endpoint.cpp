@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "mvx/coll/engine.hpp"
+#include "mvx/conn_manager.hpp"
 #include "mvx/fast_path_channel.hpp"
 #include "mvx/matcher.hpp"
 #include "mvx/net_channel.hpp"
@@ -19,6 +20,8 @@ Endpoint::Endpoint(sim::Simulator& sim, int rank, int node, std::vector<ib::Hca*
                    const Config& cfg, TelemetryRegistry& tel)
     : sim_(sim), rank_(rank), node_(node), cfg_(cfg), tel_(tel) {
   matcher_ = std::make_unique<Matcher>(tel_);
+  conn_ = std::make_unique<ConnManager>(*this);
+  conn_->set_flush_fn([this](int peer) { flush_queued(peer); });
   net_ = std::make_unique<NetChannel>(*this, std::move(node_hcas));
   shm_ = std::make_unique<ShmChannel>(*this);
   fast_path_ = std::make_unique<FastPathChannel>(*this, *net_);
@@ -30,7 +33,7 @@ Endpoint::~Endpoint() = default;
 
 void Endpoint::connect_net(Endpoint& a, Endpoint& b) {
   if (a.node_ == b.node_) throw std::logic_error("connect_net: same node — use connect_shm");
-  NetChannel::connect(*a.net_, *b.net_);
+  NetChannel::establish(*a.net_, *b.net_);
   FastPathChannel::connect(*a.fast_path_, *b.fast_path_);
 }
 
@@ -64,6 +67,15 @@ Request Endpoint::start_send(CommKind kind, const void* buf, std::int64_t bytes,
   req->kind = static_cast<std::uint8_t>(kind);
   req->lane = lane;
 
+  if (cfg_.lazy_connect && (!conn_->ready(dst) || conn_->has_queued(dst))) {
+    // First contact (or a flush still in progress, which queued sends must
+    // not overtake): start the handshake and park the send.  initiate() is
+    // idempotent, so re-queueing behind an in-flight flush costs nothing.
+    conn_->initiate(dst);
+    conn_->enqueue(dst, QueuedSend{kind, buf, bytes, tag, ctx, req});
+    return req;
+  }
+
   // Route to the highest-priority channel that accepts the message; the net
   // channel splits at the rendezvous threshold between the eager protocol
   // and the RTS/CTS/FIN state machine.
@@ -92,6 +104,13 @@ Request Endpoint::start_recv(void* buf, std::int64_t capacity, int src, int tag,
   req->peer = src;
   req->tag = tag;
   req->ctx = ctx;
+
+  if (cfg_.lazy_connect && src >= 0 && src != rank_) {
+    // A directed receive names its sender: start that handshake now so the
+    // rails exist by the time the (possibly simultaneous) send needs them.
+    // Wildcard receives cannot pre-connect anybody.
+    conn_->initiate(src);
+  }
 
   // Unexpected-queue scan first (arrival order).
   if (auto msg = matcher_->claim_unexpected(src, tag, ctx)) {
@@ -172,6 +191,36 @@ void Endpoint::on_rndv_write_done(int peer, std::uint64_t req_id) {
 
 void Endpoint::on_rndv_write_failed(int peer, const RndvStripe& st) {
   rndv_->on_write_failed(peer, st);
+}
+
+void Endpoint::flush_queued(int peer) {
+  while (conn_->has_queued(peer)) {
+    QueuedSend& qs = conn_->front(peer);
+    bool sent;
+    if (shm_->accepts(peer, qs.bytes)) {
+      shm_->send_evt(peer, qs.kind, qs.buf, qs.bytes, qs.tag, qs.ctx, qs.req);
+      sent = true;
+    } else if (fast_path_->accepts(peer, qs.bytes)) {
+      fast_path_->send_evt(peer, qs.kind, qs.buf, qs.bytes, qs.tag, qs.ctx, qs.req);
+      sent = true;
+    } else if (qs.bytes < cfg_.rndv_threshold) {
+      sent = net_->try_send(peer, qs.kind, qs.buf, qs.bytes, qs.tag, qs.ctx, qs.req);
+    } else {
+      sent = rndv_->try_send_rts(peer, qs.kind, qs.buf, qs.bytes, qs.tag, qs.ctx, qs.req);
+    }
+    if (!sent) return;  // resources dry — the freeing CQE re-flushes
+    conn_->pop_front(peer);
+  }
+}
+
+void Endpoint::on_eager_resources_freed(int /*peer*/) {
+  if (!cfg_.lazy_connect) return;
+  // The bounce pool and (in SRQ mode) the eager slot arena are shared across
+  // peers, so the freed resource can unblock any queued peer — not just the
+  // one whose CQE fired.
+  for (int p : conn_->queued_peers()) {
+    if (conn_->ready(p)) flush_queued(p);
+  }
 }
 
 void Endpoint::complete_request(const Request& req) {

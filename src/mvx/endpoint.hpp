@@ -46,6 +46,7 @@ namespace coll {
 class CollEngine;
 }
 
+class ConnManager;
 class FastPathChannel;
 class Matcher;
 class NetChannel;
@@ -68,6 +69,10 @@ class Endpoint final : public ChannelHost {
 
   /// Connects two endpoints on the same node through the shm channel.
   static void connect_shm(Endpoint& a, Endpoint& b);
+
+  /// The lazy connection manager (always constructed; only consulted when
+  /// Config::lazy_connect is on).  World injects the wire function.
+  [[nodiscard]] ConnManager& conn() { return *conn_; }
 
   /// Binds the simulated process that runs this rank's code.
   void attach_process(sim::Process* p) { proc_ = p; }
@@ -115,9 +120,14 @@ class Endpoint final : public ChannelHost {
   void on_ctl(const MsgHeader& hdr, const CtsRkeys& rkeys) override;
   void on_rndv_write_done(int peer, std::uint64_t req_id) override;
   void on_rndv_write_failed(int peer, const RndvStripe& st) override;
+  void on_eager_resources_freed(int peer) override;
   void complete_request(const Request& req) override;
 
  private:
+  /// Drains `peer`'s queued sends in FIFO order through the channels'
+  /// event-context paths, stopping at the first one that cannot get
+  /// resources (a later CQE re-flushes).
+  void flush_queued(int peer);
   /// Matched eager arrival: copy out, then complete after the copy's CPU
   /// time has been charged.
   void complete_recv(const Request& req, const MsgHeader& hdr, const std::byte* payload,
@@ -131,6 +141,7 @@ class Endpoint final : public ChannelHost {
   sim::Process* proc_ = nullptr;
 
   std::unique_ptr<Matcher> matcher_;
+  std::unique_ptr<ConnManager> conn_;
   std::unique_ptr<NetChannel> net_;
   std::unique_ptr<ShmChannel> shm_;
   std::unique_ptr<FastPathChannel> fast_path_;

@@ -87,6 +87,49 @@ void FastPathChannel::send(int peer, CommKind kind, const void* buf, std::int64_
   req->completed_at = sim.now();
 }
 
+void FastPathChannel::send_evt(int peer, CommKind kind, const void* buf, std::int64_t bytes,
+                               int tag, int ctx, const Request& req) {
+  Peer& c = peers_.at(peer);
+  const Config& cfg = host_.config();
+  const int slot = c.head;
+  c.head = (c.head + 1) % cfg.fast_path_slots;
+  --c.credits;
+
+  MsgHeader hdr;
+  hdr.type = MsgType::Eager;
+  hdr.kind = static_cast<std::uint8_t>(kind);
+  hdr.src_rank = host_.rank();
+  hdr.tag = tag;
+  hdr.ctx = ctx;
+  // Claimed at dispatch so a flushed queue keeps MPI ordering (see
+  // NetChannel::try_send).
+  hdr.seq = host_.matcher().next_send_seq(peer, ctx);
+  hdr.size = static_cast<std::uint64_t>(bytes);
+
+  std::byte* stage = c.send_stage.data() + static_cast<std::size_t>(slot) * c.slot_bytes;
+  write_header(stage, hdr);
+  if (bytes > 0) std::memcpy(stage + kHeaderBytes, buf, static_cast<std::size_t>(bytes));
+
+  host_.schedule_cpu(
+      cfg.post_cpu + host_.memcpy_time(static_cast<std::int64_t>(kHeaderBytes) + bytes),
+      [this, peer, slot, stage, bytes, req] {
+        Peer& cc = peers_.at(peer);
+        FastPathChannel* remote = cc.remote;
+        const int me = host_.rank();
+        sim::Simulator& sim = host_.simulator();
+        const sim::Time poll = host_.config().poll_delay;
+        net_.post_fp_write(peer, stage, static_cast<std::uint32_t>(kHeaderBytes + bytes),
+                           cc.stage_lkey,
+                           cc.raddr + static_cast<std::uint64_t>(slot) * cc.slot_bytes, cc.rkey,
+                           [remote, me, slot, &sim, poll] {
+                             sim.after(poll, [remote, me, slot] { remote->arrival(me, slot); });
+                           });
+        sent_.inc();
+        bytes_sent_.add(static_cast<std::uint64_t>(bytes));
+        host_.complete_request(req);
+      });
+}
+
 void FastPathChannel::arrival(int src, int slot) {
   Peer& c = peers_.at(src);
   const std::byte* base = c.recv_ring.data() + static_cast<std::size_t>(slot) * c.slot_bytes;

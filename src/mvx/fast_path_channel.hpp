@@ -33,6 +33,12 @@ class FastPathChannel final : public Channel {
   void send(int peer, CommKind kind, const void* buf, std::int64_t bytes, int tag, int ctx,
             const Request& req) override;
 
+  /// Event-context twin of send() for flushing sends queued behind a lazy
+  /// handshake.  The caller must have checked accepts(); the slot and credit
+  /// are reserved synchronously, so this cannot fail.
+  void send_evt(int peer, CommKind kind, const void* buf, std::int64_t bytes, int tag, int ctx,
+                const Request& req);
+
  private:
   struct Peer {
     FastPathChannel* remote = nullptr;

@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "ib/fault.hpp"
 #include "mvx/matcher.hpp"
 
 namespace ib12x::mvx {
@@ -22,15 +23,29 @@ NetChannel::NetChannel(ChannelHost& host, std::vector<ib::Hca*> hcas)
       rail_recovered_(host.telemetry().counter("rail.recovered")),
       send_errors_(host.telemetry().counter("fault.send_errors")),
       recv_flushes_(host.telemetry().counter("fault.recv_flushes")),
-      eager_retries_(host.telemetry().counter("fault.eager_retries")) {
+      eager_retries_(host.telemetry().counter("fault.eager_retries")),
+      qps_created_(host.telemetry().counter("conn.qps_created")),
+      eager_pool_bytes_(host.telemetry().counter("eager.pool_bytes")),
+      srq_replenishes_(host.telemetry().counter("srq.replenishes")),
+      srq_pool_dry_(host.telemetry().counter("srq.pool_dry")) {
   if (static_cast<int>(hcas_.size()) > kMaxHcas) {
     throw std::invalid_argument("NetChannel: too many HCAs per node");
   }
   scq_.set_callback([this](const ib::Wc& wc) { on_send_cqe(wc); });
   rcq_.set_callback([this](const ib::Wc& wc) { on_recv_cqe(wc); });
+}
 
+NetChannel::~NetChannel() = default;
+
+// --------------------------------------------------- connection / resources
+
+void NetChannel::ensure_net_resources() {
+  if (resources_ready_) return;
+  resources_ready_ = true;
   const Config& cfg = host_.config();
   const std::size_t slot_bytes = kHeaderBytes + static_cast<std::size_t>(cfg.rndv_threshold);
+
+  // Sender-side eager bounce pool, registered in every local HCA domain.
   bounce_.resize(static_cast<std::size_t>(cfg.send_bounce_bufs));
   for (std::size_t i = 0; i < bounce_.size(); ++i) {
     bounce_[i].data.resize(slot_bytes);
@@ -40,73 +55,127 @@ NetChannel::NetChannel(ChannelHost& host, std::vector<ib::Hca*> hcas)
     }
     free_bounce_.push_back(static_cast<int>(i));
   }
+
+  // SRQ mode: one shared receive queue + one pooled slot arena per local
+  // HCA — the receive-buffer footprint is O(1) in the peer count.
+  if (!cfg.use_srq) return;
+  const int slots = std::max(1, cfg.srq_pool_slots);
+  pools_.resize(hcas_.size());
+  for (std::size_t h = 0; h < hcas_.size(); ++h) {
+    HcaPool& pool = pools_[h];
+    pool.srq = &hcas_[h]->create_srq();
+    pool.arena.resize(static_cast<std::size_t>(slots) * slot_bytes);
+    pool.lkey = hcas_[h]->mem().register_memory(pool.arena.data(), pool.arena.size()).lkey;
+    eager_pool_bytes_.add(pool.arena.size());
+    for (int i = 0; i < slots; ++i) {
+      auto slot = std::make_unique<RecvSlot>();
+      slot->srq = pool.srq;
+      slot->data = pool.arena.data() + static_cast<std::size_t>(i) * slot_bytes;
+      slot->len = static_cast<std::uint32_t>(slot_bytes);
+      slot->lkey = pool.lkey;
+      slot->hca = static_cast<int>(h);
+      pool.srq->post({.wr_id = reinterpret_cast<std::uint64_t>(slot.get()),
+                      .dst = slot->data,
+                      .length = slot->len,
+                      .lkey = slot->lkey});
+      recv_slots_.push_back(std::move(slot));
+    }
+    const int hca_index = static_cast<int>(h);
+    pool.srq->set_stall_hook([this] { srq_pool_dry_.inc(); });
+    if (cfg.srq_limit > 0) {
+      pool.srq->set_limit_handler([this, hca_index] { on_srq_limit(hca_index); });
+      pool.srq->arm_limit(cfg.srq_limit);
+    }
+  }
 }
 
-NetChannel::~NetChannel() = default;
+int NetChannel::rail_credits() const {
+  const Config& cfg = host_.config();
+  if (!cfg.use_srq) return cfg.eager_credits;
+  // Re-derive per-rail credits from the shared pool so one peer's rails can
+  // never oversubscribe the arena on their own; concurrent senders beyond
+  // that are absorbed by RNR backpressure (stall + replenish), not errors.
+  const int per_rail = std::max(1, cfg.srq_pool_slots) / std::max(1, cfg.rails());
+  return std::min(cfg.eager_credits, std::max(1, per_rail));
+}
 
-void NetChannel::connect(NetChannel& a, NetChannel& b) {
-  const Config& cfg = a.host_.config();
-  Peer& ca = a.peers_[b.host_.rank()];
-  Peer& cb = b.peers_[a.host_.rank()];
+void NetChannel::open_to(int peer_rank) {
+  ensure_net_resources();
+  peers_[peer_rank];  // materialize the peer entry (rails wire in establish)
+}
 
-  // SRQ mode: one shared receive queue per local HCA, created on first use.
-  auto ensure_srqs = [](NetChannel& ch) {
-    if (!ch.host_.config().use_srq || !ch.srqs_.empty()) return;
-    for (ib::Hca* hca : ch.hcas_) ch.srqs_.push_back(&hca->create_srq());
-  };
-  ensure_srqs(a);
-  ensure_srqs(b);
+ib::QueuePair& NetChannel::open_rail(int peer_rank, int hca_index, int port) {
+  const Config& cfg = host_.config();
+  Peer& c = peers_.at(peer_rank);
+  ib::SharedReceiveQueue* srq =
+      cfg.use_srq ? pools_.at(static_cast<std::size_t>(hca_index)).srq : nullptr;
+  ib::QueuePair& qp =
+      hcas_.at(static_cast<std::size_t>(hca_index))->create_qp(port, scq_, rcq_, srq);
+  c.rails.push_back(Rail{&qp, hca_index, rail_credits(), 0});
+  // Error-CQE → rail routing, only ever consulted under fault injection;
+  // skip the map nodes entirely otherwise.
+  if (fault_enabled_) {
+    qp_rail_[qp.num()] = {peer_rank, static_cast<int>(c.rails.size()) - 1};
+  }
+  qps_created_.inc();
+  return qp;
+}
 
+void NetChannel::prepost_rail(ib::QueuePair& qp, int hca_index, int peer_rank) {
+  const Config& cfg = host_.config();
+  if (cfg.use_srq) return;  // pooled slots were preposted once per HCA
   const std::size_t slot_bytes = kHeaderBytes + static_cast<std::size_t>(cfg.rndv_threshold);
-  auto prepost = [&](NetChannel& ch, ib::QueuePair* qp, int hca_index, int peer) {
-    for (int i = 0; i < cfg.eager_credits; ++i) {
-      auto slot = std::make_unique<RecvSlot>();
-      slot->buf.resize(slot_bytes);
-      slot->peer = peer;
-      // Receive buffers only need registration in the domain of the HCA the
-      // QP lives on.
-      slot->lkey = qp->port().hca().mem().register_memory(slot->buf.data(), slot_bytes).lkey;
-      const ib::RecvWr wr{.wr_id = reinterpret_cast<std::uint64_t>(slot.get()),
-                          .dst = slot->buf.data(),
-                          .length = static_cast<std::uint32_t>(slot_bytes),
-                          .lkey = slot->lkey};
-      if (cfg.use_srq) {
-        slot->srq = ch.srqs_.at(static_cast<std::size_t>(hca_index));
-        slot->srq->post(wr);
-      } else {
-        slot->qp = qp;
-        qp->post_recv(wr);
-      }
-      ch.recv_slots_.push_back(std::move(slot));
-    }
-  };
+  for (int i = 0; i < cfg.eager_credits; ++i) {
+    auto slot = std::make_unique<RecvSlot>();
+    slot->buf.resize(slot_bytes);
+    slot->data = slot->buf.data();
+    slot->len = static_cast<std::uint32_t>(slot_bytes);
+    slot->peer = peer_rank;
+    slot->hca = hca_index;
+    // Receive buffers only need registration in the domain of the HCA the
+    // QP lives on.
+    slot->lkey = qp.port().hca().mem().register_memory(slot->buf.data(), slot_bytes).lkey;
+    slot->qp = &qp;
+    qp.post_recv({.wr_id = reinterpret_cast<std::uint64_t>(slot.get()),
+                  .dst = slot->data,
+                  .length = slot->len,
+                  .lkey = slot->lkey});
+    eager_pool_bytes_.add(slot_bytes);
+    recv_slots_.push_back(std::move(slot));
+  }
+}
+
+void NetChannel::establish(NetChannel& a, NetChannel& b) {
+  const Config& cfg = a.host_.config();
+  a.open_to(b.host_.rank());
+  b.open_to(a.host_.rank());
+  ib::FaultPlan* plan = a.fault_enabled_ ? a.hcas_.front()->fabric().fault_plan() : nullptr;
 
   for (int h = 0; h < cfg.hcas_per_node; ++h) {
     for (int p = 0; p < cfg.ports_per_hca; ++p) {
       for (int q = 0; q < cfg.qps_per_port; ++q) {
-        ib::SharedReceiveQueue* srq_a =
-            cfg.use_srq ? a.srqs_.at(static_cast<std::size_t>(h)) : nullptr;
-        ib::SharedReceiveQueue* srq_b =
-            cfg.use_srq ? b.srqs_.at(static_cast<std::size_t>(h)) : nullptr;
-        ib::QueuePair& qa =
-            a.hcas_.at(static_cast<std::size_t>(h))->create_qp(p, a.scq_, a.rcq_, srq_a);
-        ib::QueuePair& qb =
-            b.hcas_.at(static_cast<std::size_t>(h))->create_qp(p, b.scq_, b.rcq_, srq_b);
+        ib::QueuePair& qa = a.open_rail(b.host_.rank(), h, p);
+        ib::QueuePair& qb = b.open_rail(a.host_.rank(), h, p);
         ib::Fabric::connect(qa, qb);
-        ca.rails.push_back(Rail{&qa, h, cfg.eager_credits, 0});
-        cb.rails.push_back(Rail{&qb, h, cfg.eager_credits, 0});
-        // Error-CQE → rail routing, only ever consulted under fault
-        // injection; skip the map nodes entirely otherwise.
-        if (a.fault_enabled_) {
-          a.qp_rail_[qa.num()] = {b.host_.rank(), static_cast<int>(ca.rails.size()) - 1};
-        }
-        if (b.fault_enabled_) {
-          b.qp_rail_[qb.num()] = {a.host_.rank(), static_cast<int>(cb.rails.size()) - 1};
-        }
         a.rail_up_.inc();
         b.rail_up_.inc();
-        prepost(a, &qa, h, b.host_.rank());
-        prepost(b, &qb, h, a.host_.rank());
+        a.prepost_rail(qa, h, b.host_.rank());
+        b.prepost_rail(qb, h, a.host_.rank());
+        if (plan != nullptr) {
+          // Lazy wiring can land inside a link-down window: a QP created
+          // behind a dead port starts in the error state (its rail parks and
+          // probes for recovery like any mid-run failure).
+          const int ra = static_cast<int>(a.peers_.at(b.host_.rank()).rails.size()) - 1;
+          const int rb = static_cast<int>(b.peers_.at(a.host_.rank()).rails.size()) - 1;
+          if (plan->port_down(a.hcas_.at(static_cast<std::size_t>(h)), p)) {
+            qa.transition_to_error();
+            a.mark_rail_down(b.host_.rank(), ra);
+          }
+          if (plan->port_down(b.hcas_.at(static_cast<std::size_t>(h)), p)) {
+            qb.transition_to_error();
+            b.mark_rail_down(a.host_.rank(), rb);
+          }
+        }
       }
     }
   }
@@ -265,6 +334,68 @@ void NetChannel::send(int peer_rank, CommKind kind, const void* buf, std::int64_
   req->completed_at = host_.simulator().now();
 }
 
+bool NetChannel::try_send(int peer_rank, CommKind kind, const void* buf, std::int64_t bytes,
+                          int tag, int ctx, const Request& req) {
+  // Event-context twin of send(): used to flush sends queued behind a lazy
+  // handshake.  It must not block, so instead of waiting on credits it
+  // reports failure and leaves the message queued (a later CQE re-flushes).
+  Peer& c = peer(peer_rank);
+  const Config& cfg = host_.config();
+  const RailCursor saved = c.cursor;
+  int rail;
+  if (req->lane >= 0) {
+    rail = req->lane % static_cast<int>(c.rails.size());
+  } else {
+    Schedule s = choose_schedule(cfg.policy, kind, bytes, static_cast<int>(c.rails.size()),
+                                 cfg.stripe_threshold, c.cursor);
+    rail = s.stripe ? 0 : s.rail;  // eager never stripes
+    if (cfg.policy == Policy::Adaptive) {
+      rail = fault_enabled_
+                 ? least_loaded_rail(rail_outstanding(peer_rank), rail_up(peer_rank))
+                 : least_loaded_rail(rail_outstanding(peer_rank));
+    }
+  }
+  if (fault_enabled_) {
+    bool any_up = false;
+    for (const Rail& r : c.rails) any_up = any_up || r.up;
+    if (!any_up) {
+      c.cursor = saved;
+      return false;
+    }
+    rail = remap_live(c, rail);
+  }
+  Rail& r = c.rails.at(static_cast<std::size_t>(rail));
+  if (r.credits <= 0 || free_bounce_.empty()) {
+    credit_stalls_.inc();
+    c.cursor = saved;
+    return false;
+  }
+  --r.credits;
+  const int bounce = free_bounce_.back();
+  free_bounce_.pop_back();
+
+  MsgHeader hdr;
+  hdr.type = MsgType::Eager;
+  hdr.kind = static_cast<std::uint8_t>(kind);
+  hdr.src_rank = host_.rank();
+  hdr.tag = tag;
+  hdr.ctx = ctx;
+  // Sequence numbers are claimed here, at dispatch, so queued sends to one
+  // peer keep MPI ordering no matter when their CPU events run.
+  hdr.seq = host_.matcher().next_send_seq(peer_rank, ctx);
+  hdr.size = static_cast<std::uint64_t>(bytes);
+
+  host_.schedule_cpu(
+      cfg.post_cpu + host_.memcpy_time(static_cast<std::int64_t>(kHeaderBytes) + bytes),
+      [this, peer_rank, rail, bounce, hdr, buf, bytes, req] {
+        post_eager(peer(peer_rank), peer_rank, rail, bounce, hdr, buf, bytes);
+        eager_sent_.inc();
+        bytes_sent_.add(static_cast<std::uint64_t>(bytes));
+        host_.complete_request(req);
+      });
+  return true;
+}
+
 // ---------------------------------------------------------------- controls
 
 void NetChannel::send_ctl_blocking(int peer_rank, int rail, const MsgHeader& hdr) {
@@ -276,6 +407,33 @@ void NetChannel::send_ctl_blocking(int peer_rank, int rail, const MsgHeader& hdr
   int bounce = acquire_bounce_and_credit(c, rail);
   host_.process().compute(host_.config().post_cpu);
   post_eager(c, peer_rank, rail, bounce, hdr, nullptr, 0);
+}
+
+int NetChannel::probe_ctl_rail(int peer_rank, int rail) const {
+  // Event-context probe for the non-blocking RTS path: returns a rail that
+  // can take a control message right now, or -1 (leave the send queued).
+  const Peer& c = peer(peer_rank);
+  if (free_bounce_.empty()) return -1;
+  if (fault_enabled_) {
+    bool any_up = false;
+    for (const Rail& r : c.rails) any_up = any_up || r.up;
+    if (!any_up) return -1;
+    rail = remap_live(c, rail);
+  }
+  if (c.rails.at(static_cast<std::size_t>(rail)).credits <= 0) return -1;
+  return rail;
+}
+
+void NetChannel::post_ctl_evt(int peer_rank, int rail, const MsgHeader& hdr) {
+  // Event-context twin of send_ctl_blocking(); the caller has validated the
+  // rail with probe_ctl_rail, so the reservation here cannot fail.
+  Peer& c = peer(peer_rank);
+  --c.rails.at(static_cast<std::size_t>(rail)).credits;
+  const int bounce = free_bounce_.back();
+  free_bounce_.pop_back();
+  host_.schedule_cpu(host_.config().post_cpu, [this, peer_rank, rail, bounce, hdr] {
+    post_eager(peer(peer_rank), peer_rank, rail, bounce, hdr, nullptr, 0);
+  });
 }
 
 void NetChannel::send_ctl(int peer_rank, const MsgHeader& hdr, const CtsRkeys& rkeys) {
@@ -415,6 +573,7 @@ void NetChannel::on_send_cqe(const ib::Wc& wc) {
         }
         if (fault_enabled_ && !pending_retry_.empty()) flush_pending_retries();
         flush_pending_ctl(sctx->peer);
+        host_.on_eager_resources_freed(sctx->peer);
         host_.progress().notify_all();
         break;
       }
@@ -445,10 +604,21 @@ void NetChannel::on_send_cqe(const ib::Wc& wc) {
 void NetChannel::on_recv_cqe(const ib::Wc& wc) {
   auto* slot = reinterpret_cast<RecvSlot*>(wc.wr_id);
   if (wc.status != ib::WcStatus::Success) {
-    // Flushed receive WQE: the buffer holds no message.  Park the slot on its
-    // rail; it is reposted when the rail recovers.
     recv_flushes_.inc();
     auto it = qp_rail_.find(wc.qp_num);
+    if (slot->srq != nullptr) {
+      // Pooled slot flushed through a dying QP: the SRQ itself is healthy, so
+      // the slot goes straight back to the shared pool while the rail parks.
+      slot->srq->post({.wr_id = wc.wr_id, .dst = slot->data, .length = slot->len,
+                       .lkey = slot->lkey});
+      if (it != qp_rail_.end()) {
+        const auto [peer_rank, rail] = it->second;
+        mark_rail_down(peer_rank, rail);
+      }
+      return;
+    }
+    // Flushed per-QP receive WQE: the buffer holds no message.  Park the slot
+    // on its rail; it is reposted when the rail recovers.
     if (it == qp_rail_.end()) {
       throw std::logic_error("NetChannel: flush CQE from unknown QP");
     }
@@ -457,8 +627,8 @@ void NetChannel::on_recv_cqe(const ib::Wc& wc) {
     mark_rail_down(peer_rank, rail);
     return;
   }
-  MsgHeader hdr = read_header(slot->buf.data());
-  const std::byte* payload = slot->buf.data() + kHeaderBytes;
+  MsgHeader hdr = read_header(slot->data);
+  const std::byte* payload = slot->data + kHeaderBytes;
 
   switch (hdr.type) {
     case MsgType::Eager:
@@ -482,17 +652,51 @@ void NetChannel::on_recv_cqe(const ib::Wc& wc) {
     }
   }
 
+  if (slot->srq != nullptr && host_.config().srq_limit > 0) {
+    // Drained pooled slot: hold it for the batched low-watermark repost
+    // (verbs srq_limit) instead of reposting per CQE.
+    HcaPool& pool = pools_.at(static_cast<std::size_t>(slot->hca));
+    pool.drained.push_back(slot);
+    if (pool.want_replenish) try_replenish(slot->hca);
+    return;
+  }
   // Recycle the receive slot immediately (MVAPICH reposts vbufs eagerly; the
   // sender's credit only returns with its CQE, which is always later).
   const ib::RecvWr repost{.wr_id = wc.wr_id,
-                          .dst = slot->buf.data(),
-                          .length = static_cast<std::uint32_t>(slot->buf.size()),
+                          .dst = slot->data,
+                          .length = slot->len,
                           .lkey = slot->lkey};
   if (slot->srq != nullptr) {
     slot->srq->post(repost);
   } else {
     slot->qp->post_recv(repost);
   }
+}
+
+void NetChannel::on_srq_limit(int hca_index) {
+  pools_.at(static_cast<std::size_t>(hca_index)).want_replenish = true;
+  try_replenish(hca_index);
+}
+
+void NetChannel::try_replenish(int hca_index) {
+  HcaPool& pool = pools_.at(static_cast<std::size_t>(hca_index));
+  if (!pool.want_replenish || pool.drained.empty()) return;
+  pool.want_replenish = false;
+  std::vector<RecvSlot*> batch;
+  batch.swap(pool.drained);
+  for (RecvSlot* slot : batch) {
+    pool.srq->post({.wr_id = reinterpret_cast<std::uint64_t>(slot),
+                    .dst = slot->data,
+                    .length = slot->len,
+                    .lkey = slot->lkey});
+  }
+  srq_replenishes_.inc();
+  const int limit = host_.config().srq_limit;
+  pool.srq->arm_limit(limit);
+  // Stay hungry if the batch could not refill past the watermark — the next
+  // drained CQE must repost without waiting for a limit event that may never
+  // fire (no pops happen while every remaining message sits stalled).
+  if (pool.srq->pending() < static_cast<std::size_t>(limit)) pool.want_replenish = true;
 }
 
 // ---------------------------------------------------------------- failover
@@ -535,8 +739,8 @@ void NetChannel::try_recover_rail(int peer_rank, int rail) {
   rail_recovered_.inc();
   for (RecvSlot* slot : r.parked) {
     const ib::RecvWr wr{.wr_id = reinterpret_cast<std::uint64_t>(slot),
-                        .dst = slot->buf.data(),
-                        .length = static_cast<std::uint32_t>(slot->buf.size()),
+                        .dst = slot->data,
+                        .length = slot->len,
                         .lkey = slot->lkey};
     if (slot->srq != nullptr) {
       slot->srq->post(wr);
@@ -545,8 +749,13 @@ void NetChannel::try_recover_rail(int peer_rank, int rail) {
     }
   }
   r.parked.clear();
+  // Messages that stalled on a dry pool while this QP was in error are
+  // parked inside the SRQ; the recovered QP will not see another post unless
+  // someone kicks the stall queue.
+  for (HcaPool& pool : pools_) pool.srq->kick();
   flush_pending_retries();
   flush_pending_ctl(peer_rank);
+  host_.on_eager_resources_freed(peer_rank);
   host_.progress().notify_all();
 }
 

@@ -31,9 +31,14 @@ class NetChannel final : public Channel {
   NetChannel(ChannelHost& host, std::vector<ib::Hca*> hcas);
   ~NetChannel() override;
 
-  /// Builds the rail set (hcas × ports × qps QP pairs) between two channels
-  /// on different nodes and preposts eager receive slots.
-  static void connect(NetChannel& a, NetChannel& b);
+  /// Per-side connection surface, driven by the connection manager (or the
+  /// legacy all-pairs loop): open_to(peer) creates this side's peer entry
+  /// and — lazily, once — the shared send/receive resources (bounce pool;
+  /// SRQ + pooled eager arena per local HCA in SRQ mode); establish(a, b)
+  /// then wires the rail set (hcas × ports × qps QP pairs) between two
+  /// opened sides and preposts per-QP eager slots in per-QP-RQ mode.
+  void open_to(int peer);
+  static void establish(NetChannel& a, NetChannel& b);
 
   [[nodiscard]] bool accepts(int peer, std::int64_t bytes) const override;
 
@@ -41,6 +46,21 @@ class NetChannel final : public Channel {
   /// Rendezvous module, which posts on this channel.
   void send(int peer, CommKind kind, const void* buf, std::int64_t bytes, int tag, int ctx,
             const Request& req) override;
+
+  /// Event-context eager send for the connection manager's queued-send
+  /// flush: same rail choice as send(), but never blocks — returns false
+  /// (cursor restored, nothing reserved) when no credit, bounce buffer or
+  /// live rail is available.  On success the post + copy CPU is charged via
+  /// schedule_cpu and the request completes once posted.
+  bool try_send(int peer, CommKind kind, const void* buf, std::int64_t bytes, int tag, int ctx,
+                const Request& req);
+
+  /// Event-context RTS support for the queued-send flush: probe_ctl_rail
+  /// returns the rail (remapped to a live one under faults) on which a
+  /// credit and bounce are reservable right now, or -1; post_ctl_evt then
+  /// reserves them and posts the header-only message after post_cpu.
+  [[nodiscard]] int probe_ctl_rail(int peer, int rail) const;
+  void post_ctl_evt(int peer, int rail, const MsgHeader& hdr);
 
   // ---- services for the Rendezvous module ----
 
@@ -84,13 +104,29 @@ class NetChannel final : public Channel {
   [[nodiscard]] const std::vector<ib::Hca*>& hcas() const { return hcas_; }
 
  private:
-  /// A preposted receive slot on one QP; recycled after each inbound message.
+  /// A preposted receive slot; recycled after each inbound message.  Per-QP
+  /// RQ slots own their buffer (`buf`); SRQ slots point into the per-HCA
+  /// pool arena and belong to no peer.
   struct RecvSlot {
     ib::QueuePair* qp = nullptr;            ///< repost target (per-QP RQ mode)
     ib::SharedReceiveQueue* srq = nullptr;  ///< repost target (SRQ mode)
-    std::vector<std::byte> buf;
+    std::byte* data = nullptr;
+    std::uint32_t len = 0;
+    std::vector<std::byte> buf;  ///< backing store in per-QP RQ mode only
     ib::LKey lkey = 0;
-    int peer = -1;
+    int peer = -1;  ///< owning peer (per-QP RQ mode); -1 for pooled slots
+    int hca = 0;
+  };
+
+  /// SRQ mode: the pooled eager receive side of one local HCA — the shared
+  /// receive queue, one registered arena of srq_pool_slots slots, and the
+  /// batched-replenish state driven by the srq_limit low-watermark event.
+  struct HcaPool {
+    ib::SharedReceiveQueue* srq = nullptr;
+    std::vector<std::byte> arena;
+    ib::LKey lkey = 0;
+    std::vector<RecvSlot*> drained;  ///< consumed slots awaiting batched repost
+    bool want_replenish = false;     ///< a limit event fired since the last repost
   };
 
   /// One rail to one peer: a connected QP plus sender-side credits and the
@@ -149,6 +185,27 @@ class NetChannel final : public Channel {
   Peer& peer(int rank);
   [[nodiscard]] const Peer& peer(int rank) const;
 
+  /// One-time lazy allocation of the shared send/receive resources: the
+  /// sender bounce pool, and in SRQ mode one SRQ + preposted slot arena per
+  /// local HCA.  Runs at the first open_to — a rank that never touches the
+  /// network allocates nothing.
+  void ensure_net_resources();
+  /// Creates one rail QP towards `peer` (bookkeeping only; the caller wires
+  /// it to the remote side via ib::Fabric::connect).
+  ib::QueuePair& open_rail(int peer, int hca_index, int port);
+  /// Per-QP RQ mode: preposts eager_credits owned slots on `qp`.  No-op in
+  /// SRQ mode, where the pooled arena is preposted once per HCA.
+  void prepost_rail(ib::QueuePair& qp, int hca_index, int peer);
+  /// Per-rail credits: eager_credits in per-QP RQ mode; re-derived from the
+  /// shared pool (srq_pool_slots spread over the rail count) in SRQ mode.
+  [[nodiscard]] int rail_credits() const;
+
+  /// SRQ low-watermark machinery: the async limit event marks the pool
+  /// wanting a replenish; try_replenish batch-reposts every drained slot and
+  /// re-arms once both conditions hold.
+  void on_srq_limit(int hca_index);
+  void try_replenish(int hca_index);
+
   /// Blocks the process until rail `r` has a send credit and a bounce buffer
   /// is free; returns the bounce index.
   int acquire_bounce_and_credit(Peer& c, int rail);
@@ -192,10 +249,11 @@ class NetChannel final : public Channel {
 
   std::map<int, Peer> peers_;
   std::vector<std::unique_ptr<RecvSlot>> recv_slots_;
-  std::vector<ib::SharedReceiveQueue*> srqs_;  ///< per local HCA, SRQ mode only
+  std::vector<HcaPool> pools_;  ///< per local HCA, SRQ mode only
 
   std::vector<BounceBuf> bounce_;
   std::vector<int> free_bounce_;
+  bool resources_ready_ = false;  ///< ensure_net_resources has run
 
   const bool fault_enabled_;
   /// QP number → (peer rank, rail index): routes error CQEs — which carry
@@ -223,6 +281,10 @@ class NetChannel final : public Channel {
   Counter& send_errors_;     ///< error CQEs on the send side
   Counter& recv_flushes_;    ///< flushed receive WQEs (slots parked)
   Counter& eager_retries_;   ///< eager/ctl messages replayed after an error
+  Counter& qps_created_;     ///< own-side rail QPs created (conn.qps_created)
+  Counter& eager_pool_bytes_;  ///< eager receive-buffer bytes allocated
+  Counter& srq_replenishes_;   ///< batched SRQ reposts (low-watermark events served)
+  Counter& srq_pool_dry_;      ///< inbound messages stalled on an empty pool
 };
 
 }  // namespace ib12x::mvx

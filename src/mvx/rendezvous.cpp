@@ -124,6 +124,44 @@ void Rendezvous::send_rts(int peer, CommKind kind, const void* /*buf*/, std::int
   bytes_sent_.add(static_cast<std::uint64_t>(bytes));
 }
 
+bool Rendezvous::try_send_rts(int peer, CommKind kind, const void* /*buf*/, std::int64_t bytes,
+                              int tag, int ctx, const Request& req) {
+  const Config& cfg = host_.config();
+  Schedule s;
+  RailCursor saved{};
+  if (cfg.rndv_pipeline) {
+    saved = net_.ctl_cursor(peer);  // restored if the probe fails
+    s = choose_schedule(Policy::RoundRobin, kind, 0, net_.nrails(peer), cfg.stripe_threshold,
+                        net_.ctl_cursor(peer));
+  } else {
+    RailCursor ctl_cursor = net_.cursor(peer);  // do not disturb the data cursor
+    s = choose_schedule(Policy::RoundRobin, kind, 0, net_.nrails(peer), cfg.stripe_threshold,
+                        ctl_cursor);
+  }
+  const int rail = net_.probe_ctl_rail(peer, s.rail);
+  if (rail < 0) {
+    if (cfg.rndv_pipeline) net_.ctl_cursor(peer) = saved;
+    return false;
+  }
+
+  MsgHeader hdr;
+  hdr.type = MsgType::Rts;
+  hdr.kind = static_cast<std::uint8_t>(kind);
+  hdr.src_rank = host_.rank();
+  hdr.tag = tag;
+  hdr.ctx = ctx;
+  hdr.seq = host_.matcher().next_send_seq(peer, ctx);
+  hdr.size = static_cast<std::uint64_t>(bytes);
+  hdr.sender_cookie = new_cookie(req);
+  if (cfg.rndv_pipeline) {
+    send_progress_[hdr.sender_cookie].chunks_total = chunk_count(cfg, bytes);
+  }
+  net_.post_ctl_evt(peer, rail, hdr);
+  rts_sent_.inc();
+  bytes_sent_.add(static_cast<std::uint64_t>(bytes));
+  return true;
+}
+
 void Rendezvous::accept(const MsgHeader& rts, const Request& req) {
   req->status = {rts.src_rank, rts.tag, static_cast<std::int64_t>(rts.size)};
   req->peer = rts.src_rank;

@@ -46,6 +46,12 @@ class Rendezvous {
   void send_rts(int peer, CommKind kind, const void* buf, std::int64_t bytes, int tag, int ctx,
                 const Request& req);
 
+  /// Event-context twin of send_rts for flushing sends queued behind a lazy
+  /// handshake: instead of blocking on a control credit it reports failure
+  /// and leaves the send queued (claiming no sequence number or cookie).
+  bool try_send_rts(int peer, CommKind kind, const void* buf, std::int64_t bytes, int tag,
+                    int ctx, const Request& req);
+
   /// Receiver side of a matched RTS: register the buffer, reply CTS.
   void accept(const MsgHeader& rts, const Request& req);
 

@@ -70,6 +70,53 @@ void ShmChannel::send(int peer, CommKind kind, const void* buf, std::int64_t byt
   req->completed_at = sim.now();
 }
 
+void ShmChannel::send_evt(int peer, CommKind kind, const void* buf, std::int64_t bytes, int tag,
+                          int ctx, const Request& req) {
+  const Config& cfg = host_.config();
+
+  MsgHeader hdr;
+  hdr.type = MsgType::Eager;
+  hdr.kind = static_cast<std::uint8_t>(kind);
+  hdr.src_rank = host_.rank();
+  hdr.tag = tag;
+  hdr.ctx = ctx;
+  // Claimed at dispatch so a flushed queue keeps MPI ordering (see
+  // NetChannel::try_send).
+  hdr.seq = host_.matcher().next_send_seq(peer, ctx);
+  hdr.size = static_cast<std::uint64_t>(bytes);
+
+  // shared_ptr, not a moved vector: schedule_cpu takes a copyable callable.
+  auto payload = std::make_shared<std::vector<std::byte>>();
+  if (bytes > 0) {
+    payload->assign(static_cast<const std::byte*>(buf),
+                    static_cast<const std::byte*>(buf) + bytes);
+  }
+
+  host_.schedule_cpu(
+      cfg.post_cpu + host_.memcpy_time(bytes), [this, peer, hdr, payload, bytes, req] {
+        Peer& c = peers_.at(peer);
+        sim::Simulator& sim = host_.simulator();
+        auto res = c.pipe.reserve_bytes(sim.now(), sim.now(),
+                                        static_cast<std::int64_t>(kHeaderBytes) + bytes);
+        const sim::Time deliver_at = res.finish + host_.config().shm_latency;
+        // Header + shared payload exceed the kernel's in-place event storage;
+        // box them so the event captures one pointer (see send()).
+        struct Delivery {
+          ShmChannel* remote;
+          int src;
+          MsgHeader hdr;
+          std::shared_ptr<std::vector<std::byte>> payload;
+        };
+        auto d = std::make_unique<Delivery>(Delivery{c.remote, host_.rank(), hdr, payload});
+        sim.at(deliver_at, [d = std::move(d)]() mutable {
+          d->remote->deliver(d->src, d->hdr, std::move(*d->payload));
+        });
+        sent_.inc();
+        bytes_sent_.add(static_cast<std::uint64_t>(bytes));
+        host_.complete_request(req);
+      });
+}
+
 void ShmChannel::deliver(int src, MsgHeader hdr, std::vector<std::byte> payload) {
   host_.ingress(src, hdr, std::move(payload));
 }

@@ -8,6 +8,7 @@
 #include "ib/fault.hpp"
 #include "ib/hca.hpp"
 #include "mvx/coll/engine.hpp"
+#include "mvx/conn_manager.hpp"
 #include "sim/time.hpp"
 
 namespace ib12x::mvx {
@@ -27,9 +28,6 @@ World::World(ClusterSpec spec, Config cfg) : spec_(spec), cfg_(cfg) {
   }
 
   if (cfg_.fault.enabled) {
-    if (cfg_.use_srq) {
-      throw std::invalid_argument("World: fault injection does not support SRQ mode");
-    }
     ib::FaultPlan::Params fp;
     fp.seed = cfg_.fault.seed;
     fp.msg_error_rate = cfg_.fault.msg_error_rate;
@@ -89,15 +87,37 @@ World::World(ClusterSpec spec, Config cfg) : spec_(spec), cfg_(cfg) {
   tel_.gauge("sim.wall.events_per_sec", [this] { return sim_.events_per_wall_sec(); });
   tel_.gauge("sim.wall.switches_per_sec", [this] { return sim_.switches_per_wall_sec(); });
 
-  for (int i = 0; i < spec_.total_ranks(); ++i) {
-    for (int j = i + 1; j < spec_.total_ranks(); ++j) {
-      if (eps_[static_cast<std::size_t>(i)]->node() == eps_[static_cast<std::size_t>(j)]->node()) {
-        Endpoint::connect_shm(*eps_[static_cast<std::size_t>(i)], *eps_[static_cast<std::size_t>(j)]);
-      } else {
-        Endpoint::connect_net(*eps_[static_cast<std::size_t>(i)], *eps_[static_cast<std::size_t>(j)]);
+  if (cfg_.lazy_connect) {
+    // Lazy wiring: no pair is built here.  Each endpoint's connection
+    // manager drives wire_pair on first contact, after the modelled
+    // handshake; wire_pair marks both sides Ready (flushing their queues).
+    for (int r = 0; r < spec_.total_ranks(); ++r) {
+      Endpoint* ep = eps_[static_cast<std::size_t>(r)].get();
+      ep->conn().set_wire_fn([this, r](int peer) { wire_pair(r, peer); });
+    }
+  } else {
+    // Legacy eager wiring: all pairs at startup, O(ranks²) QPs.
+    for (int i = 0; i < spec_.total_ranks(); ++i) {
+      for (int j = i + 1; j < spec_.total_ranks(); ++j) {
+        wire_pair(i, j);
       }
     }
   }
+}
+
+void World::wire_pair(int i, int j) {
+  Endpoint& a = *eps_.at(static_cast<std::size_t>(i));
+  Endpoint& b = *eps_.at(static_cast<std::size_t>(j));
+  // Idempotent: simultaneous lazy connects resolve to one wiring (the second
+  // handshake finds both sides already Ready and only flushes).
+  if (a.conn().ready(j)) return;
+  if (a.node() == b.node()) {
+    Endpoint::connect_shm(a, b);
+  } else {
+    Endpoint::connect_net(a, b);
+  }
+  a.conn().mark_ready(j);
+  b.conn().mark_ready(i);
 }
 
 World::~World() = default;

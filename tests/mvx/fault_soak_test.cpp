@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -83,8 +84,11 @@ struct SoakResult {
   std::uint64_t injected = 0;
 };
 
-SoakResult run_soak(std::uint64_t seed, int messages) {
-  World w(ClusterSpec{2, 2}, make_faulty_config(seed));
+SoakResult run_soak(std::uint64_t seed, int messages,
+                    const std::function<void(Config&)>& tweak = {}) {
+  Config cfg = make_faulty_config(seed);
+  if (tweak) tweak(cfg);
+  World w(ClusterSpec{2, 2}, cfg);
   w.run([&](Communicator& c) {
     const auto plan = make_plan(seed, c.size(), messages);
     std::vector<std::size_t> my_recvs, my_sends;
@@ -178,6 +182,34 @@ TEST(FaultSoak, BitReproduciblePerSeed) {
     EXPECT_EQ(a.snapshot[i].second, b.snapshot[i].second)
         << "counter " << a.snapshot[i].first << " diverged between identical runs";
   }
+}
+
+TEST(FaultSoak, SrqPooledEagerSurvivesFaults) {
+  // The connection-scaling refactor removed the SRQ+fault guard; this pins
+  // use_srq=true explicitly (independent of the session defaults) with a
+  // deliberately small pool so flushed SRQ slots and low-watermark
+  // replenishes both happen while rails flap.  Flushed slots must route
+  // through the same recovery ledger as dedicated-RQ flushes.
+  const SoakResult r = run_soak(0x51aafa17, /*messages=*/48, [](Config& cfg) {
+    cfg.use_srq = true;
+    cfg.lazy_connect = true;
+    cfg.srq_pool_slots = 64;
+    cfg.srq_limit = 8;
+  });
+  EXPECT_GT(r.send_errors, 0u) << "SRQ soak injected no send-side faults";
+  EXPECT_EQ(r.send_errors, r.eager_retries + r.restriped);
+}
+
+TEST(FaultSoak, LegacyWiringLedgerStillBalances) {
+  // The pre-refactor transport (eager all-pairs wiring, per-QP receive
+  // queues) stays a supported fault-recovery path; keep it under soak so the
+  // parked-slot machinery does not rot now that the defaults moved on.
+  const SoakResult r = run_soak(0x1e6ac0de, /*messages=*/48, [](Config& cfg) {
+    cfg.use_srq = false;
+    cfg.lazy_connect = false;
+  });
+  EXPECT_GT(r.send_errors, 0u) << "legacy soak injected no send-side faults";
+  EXPECT_EQ(r.send_errors, r.eager_retries + r.restriped);
 }
 
 TEST(FaultSoak, DistinctSeedsTakeDistinctFaultPaths) {
