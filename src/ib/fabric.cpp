@@ -14,8 +14,11 @@ Fabric::~Fabric() = default;
 
 void Fabric::attach_fault(std::unique_ptr<FaultPlan> plan) { fault_ = std::move(plan); }
 
-Hca& Fabric::add_hca(int node) {
-  hcas_.push_back(std::unique_ptr<Hca>(new Hca(*this, node, hca_params_)));
+Hca& Fabric::add_hca(int node) { return add_hca(node, sim_); }
+
+Hca& Fabric::add_hca(int node, sim::Simulator& sim) {
+  const int uid = static_cast<int>(hcas_.size());
+  hcas_.push_back(std::unique_ptr<Hca>(new Hca(*this, node, hca_params_, sim, uid)));
   return *hcas_.back();
 }
 

@@ -296,7 +296,7 @@ void Port::service(QueuePair* qp, int eng) {
   // branch is a single null check on the fault-free path).
   FaultPlan* plan = hca_->fabric().fault_plan();
   MsgFault fault = MsgFault::None;
-  if (plan != nullptr) fault = plan->draw_msg_fault();
+  if (plan != nullptr) fault = plan->draw_msg_fault(*hca_);
   if (fault == MsgFault::Drop) {
     // Transport retry exhaustion: the engine fetched the WQE but no data
     // reached the responder.  The error CQE surfaces after the (modelled)
@@ -436,8 +436,17 @@ void Port::stage_uplink(std::unique_ptr<Transfer> st) {
   auto s_tx = link_tx_.reserve_bytes(sim.now(), sim.now(), st->wire_bytes);
   st->tx_last = std::max(s_tx.finish, st->eng_last + st->t_tx_seg);
 
+  // Shard hand-off point: the wire + switch hop is exactly the parallel
+  // engine's lookahead window, so t_next is always >= the epoch's window end
+  // and the cross-shard post below can never violate conservative sync.
+  // From stage 4 on, everything runs on the *destination* port (and thus the
+  // destination HCA's simulator/shard) — the event invokes the method on
+  // st->dport, which is also why stages 4-6 may use their own hca_ freely.
   const sim::Time t_next = s_tx.start + st->t_tx_seg + F.wire_latency + F.switch_latency;
-  sim.at(t_next, [this, st = std::move(st)]() mutable { stage_downlink(std::move(st)); });
+  sim::Simulator& dsim = st->dport->hca().simulator();
+  Port* dport = st->dport;
+  sim.post(dsim, t_next,
+           [dport, st = std::move(st)]() mutable { dport->stage_downlink(std::move(st)); });
 }
 
 // Stage 4: switch egress / downlink towards the destination port.
@@ -475,43 +484,53 @@ void Port::stage_dest_bus(std::unique_ptr<Transfer> st) {
   // (a requester CQE therefore implies remote data is visible — the invariant
   // rendezvous FIN relies on).  The ACK is one packet and rides the fast path
   // (packet-granular link arbitration), like the small-message branch.
+  // The CQE writeback burns *requester-side* bus time (this method now runs
+  // on the destination port, so name the requester's HCA explicitly; all
+  // HCAs share one HcaParams so the value is unchanged).
   const sim::Time cqe_time =
       st->wr.signaled
           ? delivered + P.ack_gen + sim::transfer_time(P.ack_wire_bytes, P.link_rate_gbps) +
                 F.wire_latency + F.switch_latency + F.wire_latency + P.cqe_delay +
-                sim::transfer_time(P.cqe_bus_bytes, hca_->bus().dir_rate())
+                sim::transfer_time(P.cqe_bus_bytes, st->qp->port().hca().bus().dir_rate())
           : 0;
   finish_transfer(std::move(st), delivered, cqe_time);
 }
 
 void Port::finish_transfer(std::unique_ptr<Transfer> st, sim::Time delivered,
                            sim::Time cqe_time) {
+  // Runs on the source port (small-message fast path) or the destination
+  // port (bulk pipeline tail); `sim` is whichever shard is executing.  The
+  // delivery lands on the responder's shard, the CQE on the requester's —
+  // post() degenerates to plain at() whenever those coincide.
   sim::Simulator& sim = hca_->simulator();
+  sim::Simulator& dsim = st->dport->hca().simulator();
   if (!st->wr.signaled) {
     // Data visible in responder host memory → deliver (copy + CQE).
-    sim.at(delivered, [st = std::move(st)] {
+    sim.post(dsim, delivered, [st = std::move(st)] {
       (void)st->dport->deliver(st->dst, st->wr, st->src_qp_num);
     });
     return;
   }
   // The delivery event fires before the CQE event (strictly earlier time, or
-  // FIFO order at an equal instant since it is pushed first), so it may
-  // annotate the Transfer's failure verdict in the FaultPlan for the CQE
-  // event to consume.
+  // FIFO order at an equal instant since it is pushed first; across shards
+  // the CQE trails delivery by a full ACK round — more than the lookahead
+  // window — so it lands in a later epoch), so it may annotate the
+  // Transfer's failure verdict in the FaultPlan for the CQE event to consume.
+  sim::Simulator& rsim = st->qp->port().hca().simulator();
   Transfer* raw = st.get();
-  sim.at(delivered, [raw] {
+  sim.post(dsim, delivered, [raw] {
     if (!raw->dport->deliver(raw->dst, raw->wr, raw->src_qp_num)) {
       // RNR drop → requester error CQE.  deliver() can only return false
       // with a FaultPlan attached.
       raw->dhca->fabric().fault_plan()->mark_transfer_failed(raw);
     }
   });
-  sim.at(cqe_time, [st = std::move(st), cqe_time, this] {
+  sim.post(rsim, cqe_time, [st = std::move(st), cqe_time] {
     Wc wc;
     wc.wr_id = st->wr.wr_id;
     wc.opcode =
         st->wr.opcode == Opcode::Send ? WcOpcode::SendComplete : WcOpcode::RdmaWriteComplete;
-    FaultPlan* plan = hca_->fabric().fault_plan();
+    FaultPlan* plan = st->qp->port().hca().fabric().fault_plan();
     if (plan != nullptr && plan->take_transfer_failed(st.get())) {
       wc.status = WcStatus::RetryExcErr;
     }
@@ -600,15 +619,13 @@ bool Port::deliver(QueuePair* dst_qp, const SendWr& wr, QpNum src_qp_num) {
 
 // ---------------------------------------------------------------------- Hca
 
-Hca::Hca(Fabric& fabric, int node, const HcaParams& params)
-    : fabric_(&fabric), node_(node), params_(params),
+Hca::Hca(Fabric& fabric, int node, const HcaParams& params, sim::Simulator& sim, int uid)
+    : fabric_(&fabric), sim_(&sim), node_(node), uid_(uid), params_(params),
       bus_(params.bus_dir_rate_gbps, params.bus_core_rate_gbps) {
   for (int i = 0; i < params.ports; ++i) {
     ports_.push_back(std::unique_ptr<Port>(new Port(*this, i)));
   }
 }
-
-sim::Simulator& Hca::simulator() const { return fabric_->simulator(); }
 
 QueuePair& Hca::create_qp(int port_idx, CompletionQueue& scq, CompletionQueue& rcq,
                           SharedReceiveQueue* srq) {

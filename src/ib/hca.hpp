@@ -261,13 +261,18 @@ class Port {
 class Hca {
  public:
   [[nodiscard]] int node() const { return node_; }
+  /// Dense per-fabric index (creation order); keys per-HCA fault RNG streams.
+  [[nodiscard]] int uid() const { return uid_; }
   [[nodiscard]] const HcaParams& params() const { return params_; }
   [[nodiscard]] Port& port(int i) { return *ports_.at(static_cast<std::size_t>(i)); }
   [[nodiscard]] int port_count() const { return static_cast<int>(ports_.size()); }
   [[nodiscard]] MemoryDomain& mem() { return mem_; }
   [[nodiscard]] GxBus& bus() { return bus_; }
   [[nodiscard]] Fabric& fabric() const { return *fabric_; }
-  [[nodiscard]] sim::Simulator& simulator() const;
+  /// The simulator (= shard) this HCA lives on.  With the parallel engine
+  /// different HCAs may answer with different simulators; everything an HCA
+  /// schedules for itself goes through this one.
+  [[nodiscard]] sim::Simulator& simulator() const { return *sim_; }
 
   /// Creates an RC QP on port `port_idx`.  If `srq` is non-null the QP takes
   /// inbound receive WQEs from it instead of its own RQ.
@@ -320,10 +325,12 @@ class Hca {
   friend class Fabric;
   friend class Port;
 
-  Hca(Fabric& fabric, int node, const HcaParams& params);
+  Hca(Fabric& fabric, int node, const HcaParams& params, sim::Simulator& sim, int uid);
 
   Fabric* fabric_;
+  sim::Simulator* sim_;
   int node_;
+  int uid_;
   HcaParams params_;
   GxBus bus_;
   MemoryDomain mem_;

@@ -96,6 +96,16 @@ struct Config {
   /// `rndv.reg_cache_evictions` counts them.
   std::int64_t reg_cache_capacity = 0;
 
+  // ---- parallel simulation ------------------------------------------------
+  /// Simulator shards (OS threads) for the conservative parallel engine
+  /// (sim/shard.hpp).  1 (the default) runs the exact legacy single-threaded
+  /// engine, bit for bit.  N > 1 partitions nodes over min(N, nodes) shards
+  /// (node → shard round-robin, so intra-node shm traffic never crosses a
+  /// shard) and produces bit-identical simulated-time results to the
+  /// single-threaded oracle.  Requires lazy_connect = false: all QP/rail
+  /// wiring must happen single-threaded before the parallel run starts.
+  int sim_shards = 1;
+
   // ---- fault injection / failover ----------------------------------------
   /// Deterministic fault model (ib::FaultPlan) plus the transport's failover
   /// response.  With enabled == false (the default) every fault hook in the

@@ -1,5 +1,6 @@
 #include "mvx/world.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <numeric>
 #include <stdexcept>
@@ -9,6 +10,7 @@
 #include "ib/hca.hpp"
 #include "mvx/coll/engine.hpp"
 #include "mvx/conn_manager.hpp"
+#include "sim/shard.hpp"
 #include "sim/time.hpp"
 
 namespace ib12x::mvx {
@@ -18,12 +20,35 @@ World::World(ClusterSpec spec, Config cfg) : spec_(spec), cfg_(cfg) {
     // Make the modelled HCA expose as many ports as the rail layout uses.
     cfg_.hca.ports = cfg_.ports_per_hca;
   }
+
+  // Parallel engine: min(sim_shards, nodes) shards, nodes placed round-robin
+  // so every intra-node object (endpoints, shm channels, HCAs) shares a
+  // shard and only fabric traffic ever crosses shards.  Shard 0 is sim_
+  // itself: with one shard nothing below ever branches off the legacy path.
+  const int shards = std::min(std::max(cfg_.sim_shards, 1), std::max(spec_.nodes, 1));
+  sims_.push_back(&sim_);
+  if (shards > 1) {
+    if (cfg_.lazy_connect) {
+      throw std::invalid_argument(
+          "World: sim_shards > 1 requires lazy_connect = false (all QP/rail "
+          "wiring must be built single-threaded before the parallel run)");
+    }
+    for (int s = 1; s < shards; ++s) {
+      shard_sims_.push_back(std::make_unique<sim::Simulator>());
+      sims_.push_back(shard_sims_.back().get());
+    }
+    // Conservative lookahead: one wire + switch hop is the minimum virtual
+    // time any cross-shard interaction spans (see Port::stage_uplink).
+    const sim::Time lookahead = cfg_.fabric.wire_latency + cfg_.fabric.switch_latency;
+    engine_ = std::make_unique<sim::ShardEngine>(sims_, lookahead);
+  }
+
   fabric_ = std::make_unique<ib::Fabric>(sim_, cfg_.hca, cfg_.fabric);
 
   node_hcas_.resize(static_cast<std::size_t>(spec_.nodes));
   for (int n = 0; n < spec_.nodes; ++n) {
     for (int h = 0; h < cfg_.hcas_per_node; ++h) {
-      node_hcas_[static_cast<std::size_t>(n)].push_back(&fabric_->add_hca(n));
+      node_hcas_[static_cast<std::size_t>(n)].push_back(&fabric_->add_hca(n, shard_sim(n)));
     }
   }
 
@@ -40,7 +65,12 @@ World::World(ClusterSpec spec, Config cfg) : spec_(spec), cfg_(cfg) {
       plan->add_link_event(f.down_at, hca, f.port, /*up=*/false);
       if (f.up_at > f.down_at) plan->add_link_event(f.up_at, hca, f.port, /*up=*/true);
     }
-    plan->arm(sim_);
+    if (engine_) {
+      plan->enable_sharded_streams(fabric_->hca_count());
+      plan->arm_sharded(sims_);
+    } else {
+      plan->arm(sim_);
+    }
     ib::FaultPlan* raw = plan.get();
     fabric_->attach_fault(std::move(plan));
     tel_.gauge("fault.injected_errors",
@@ -52,7 +82,7 @@ World::World(ClusterSpec spec, Config cfg) : spec_(spec), cfg_(cfg) {
 
   for (int r = 0; r < spec_.total_ranks(); ++r) {
     const int node = r / spec_.procs_per_node;
-    eps_.push_back(std::make_unique<Endpoint>(sim_, r, node,
+    eps_.push_back(std::make_unique<Endpoint>(shard_sim(node), r, node,
                                               node_hcas_[static_cast<std::size_t>(node)], cfg_,
                                               tel_));
   }
@@ -72,20 +102,61 @@ World::World(ClusterSpec spec, Config cfg) : spec_(spec), cfg_(cfg) {
     }
   }
 
-  // Event-kernel self-telemetry.  Gauges derived from wall-clock time live
-  // under "sim.wall." so determinism checks can exclude them when comparing
-  // snapshots of two runs (virtual-time state must match bit for bit; host
-  // speed obviously need not).
-  tel_.gauge("sim.events", [this] { return static_cast<double>(sim_.events_processed()); });
-  tel_.gauge("sim.lane_events", [this] { return static_cast<double>(sim_.lane_events()); });
-  tel_.gauge("sim.heap_events", [this] { return static_cast<double>(sim_.heap_events()); });
-  tel_.gauge("sim.kernel_allocs", [this] { return static_cast<double>(sim_.kernel_allocs()); });
-  tel_.gauge("sim.allocs_per_event", [this] { return sim_.allocs_per_event(); });
+  // Event-kernel self-telemetry, summed over every shard (size-1 sums keep
+  // the unsharded values bit-identical to the legacy single-simulator
+  // gauges).  Gauges derived from wall-clock time live under "sim.wall." so
+  // determinism checks can exclude them when comparing snapshots of two runs
+  // (virtual-time state must match bit for bit; host speed obviously need
+  // not).  With the parallel engine the run phases overlap in wall time, so
+  // rate gauges divide by the *slowest* shard's wall time.
+  auto sum_u64 = [this](std::uint64_t (sim::Simulator::*f)() const) {
+    std::uint64_t n = 0;
+    for (const sim::Simulator* s : sims_) n += (s->*f)();
+    return static_cast<double>(n);
+  };
+  auto max_wall = [this] {
+    double w = 0.0;
+    for (const sim::Simulator* s : sims_) w = std::max(w, s->run_wall_seconds());
+    return w;
+  };
+  tel_.gauge("sim.events", [sum_u64] { return sum_u64(&sim::Simulator::events_processed); });
+  tel_.gauge("sim.lane_events", [sum_u64] { return sum_u64(&sim::Simulator::lane_events); });
+  tel_.gauge("sim.heap_events", [sum_u64] { return sum_u64(&sim::Simulator::heap_events); });
+  tel_.gauge("sim.kernel_allocs",
+             [sum_u64] { return sum_u64(&sim::Simulator::kernel_allocs); });
+  tel_.gauge("sim.allocs_per_event", [sum_u64] {
+    const double events = sum_u64(&sim::Simulator::events_processed);
+    return events == 0.0 ? 0.0 : sum_u64(&sim::Simulator::kernel_allocs) / events;
+  });
   tel_.gauge("sim.fiber_switches",
-             [this] { return static_cast<double>(sim_.fiber_switches()); });
-  tel_.gauge("sim.wall.run_seconds", [this] { return sim_.run_wall_seconds(); });
-  tel_.gauge("sim.wall.events_per_sec", [this] { return sim_.events_per_wall_sec(); });
-  tel_.gauge("sim.wall.switches_per_sec", [this] { return sim_.switches_per_wall_sec(); });
+             [sum_u64] { return sum_u64(&sim::Simulator::fiber_switches); });
+  tel_.gauge("sim.wall.run_seconds", max_wall);
+  tel_.gauge("sim.wall.events_per_sec", [sum_u64, max_wall] {
+    const double w = max_wall();
+    return w == 0.0 ? 0.0 : sum_u64(&sim::Simulator::events_processed) / w;
+  });
+  tel_.gauge("sim.wall.switches_per_sec", [sum_u64, max_wall] {
+    const double w = max_wall();
+    return w == 0.0 ? 0.0 : sum_u64(&sim::Simulator::fiber_switches) / w;
+  });
+
+  // Parallel-engine telemetry (registered only when sharding is active, so
+  // unsharded snapshots stay byte-identical to previous releases).  The
+  // barrier waits are wall-clock quantities and live under a ".wall."
+  // segment for the same exclusion reason as above.
+  if (engine_) {
+    sim::ShardEngine* eng = engine_.get();
+    tel_.gauge("sim.shard.count", [eng] { return static_cast<double>(eng->shards()); });
+    tel_.gauge("sim.shard.epochs", [eng] { return static_cast<double>(eng->epochs()); });
+    tel_.gauge("sim.shard.cross_events",
+               [eng] { return static_cast<double>(eng->cross_events()); });
+    tel_.gauge("sim.shard.mailbox_hwm",
+               [eng] { return static_cast<double>(eng->mailbox_high_water()); });
+    for (int s = 0; s < engine_->shards(); ++s) {
+      tel_.gauge("sim.shard.wall.barrier_ns.s" + std::to_string(s),
+                 [eng, s] { return static_cast<double>(eng->barrier_wait_ns(s)); });
+    }
+  }
 
   if (cfg_.lazy_connect) {
     // Lazy wiring: no pair is built here.  Each endpoint's connection
@@ -123,6 +194,10 @@ void World::wire_pair(int i, int j) {
 World::~World() = default;
 
 void World::run(const std::function<void(Communicator&)>& rank_main) {
+  if (engine_) {
+    run_sharded(rank_main);
+    return;
+  }
   sim::ProcessSet procs(sim_);
   std::vector<int> group(static_cast<std::size_t>(ranks()));
   std::iota(group.begin(), group.end(), 0);
@@ -147,6 +222,65 @@ void World::run(const std::function<void(Communicator&)>& rank_main) {
   }
   procs.run_all(sim_.now());
   end_time_ = sim_.now();
+}
+
+void World::run_sharded(const std::function<void(Communicator&)>& rank_main) {
+  // One ProcessSet per shard: every rank's fibers are owned (created, run,
+  // torn down) by the shard thread its node lives on.  The post-run failure
+  // and deadlock checks walk the *global* add order so the first error
+  // reported matches what the single-threaded run_all would have raised.
+  std::vector<std::unique_ptr<sim::ProcessSet>> sets;
+  sets.reserve(sims_.size());
+  for (sim::Simulator* s : sims_) sets.push_back(std::make_unique<sim::ProcessSet>(*s));
+
+  std::vector<int> group(static_cast<std::size_t>(ranks()));
+  std::iota(group.begin(), group.end(), 0);
+  std::vector<sim::Process*> order;
+  order.reserve(static_cast<std::size_t>(ranks()) * 2);
+
+  for (int r = 0; r < ranks(); ++r) {
+    const int node = r / spec_.procs_per_node;
+    sim::ProcessSet& procs = *sets[static_cast<std::size_t>(node) % sims_.size()];
+    Endpoint* ep = eps_[static_cast<std::size_t>(r)].get();
+    ep->coll_engine().begin_run();
+    order.push_back(
+        &procs.add("rank" + std::to_string(r), [this, ep, group, &rank_main](sim::Process& p) {
+          ep->attach_process(&p);
+          Communicator comm(this, ep, group, ep->rank(), /*ctx_base=*/0);
+          rank_main(comm);
+          ep->coll_engine().request_shutdown();
+        }));
+    order.push_back(&procs.add("collprog" + std::to_string(r), [ep](sim::Process& p) {
+      ep->coll_engine().progress_main(p);
+    }));
+  }
+
+  // Clocks may differ across shards after a previous run (each stops at its
+  // own last event); start the next wave at the global frontier so no shard
+  // schedules into its past.
+  sim::Time start = 0;
+  for (const sim::Simulator* s : sims_) start = std::max(start, s->now());
+  for (auto& set : sets) set->start_all(start);
+
+  engine_->run();
+
+  bool all_done = true;
+  std::string stuck;
+  for (sim::Process* p : order) {
+    if (!p->finished()) {
+      all_done = false;
+      if (!stuck.empty()) stuck += ", ";
+      stuck += p->name();
+    }
+  }
+  for (sim::Process* p : order) p->rethrow_if_failed();
+  if (!all_done) {
+    throw std::runtime_error(
+        "World::run: deadlock — event queues empty but processes blocked: " + stuck);
+  }
+  sim::Time end = 0;
+  for (const sim::Simulator* s : sims_) end = std::max(end, s->now());
+  end_time_ = end;
 }
 
 }  // namespace ib12x::mvx

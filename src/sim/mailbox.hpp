@@ -1,0 +1,59 @@
+// Cross-shard event mailbox for the parallel engine (see shard.hpp).
+//
+// One Mailbox exists per ordered (producer shard, consumer shard) pair, so
+// each instance is strictly single-producer/single-consumer.  The epoch
+// protocol gives it an even stronger guarantee than classic SPSC rings need:
+// the producer only calls put() during an epoch's run phase and the consumer
+// only calls drain() after the inter-epoch barrier, and the barrier itself
+// establishes the happens-before edge.  That lets the hot path be a plain
+// std::vector push_back — no atomics, no fences, no per-event allocation
+// beyond amortized vector growth.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/inline_function.hpp"
+#include "sim/time.hpp"
+
+namespace ib12x::sim {
+
+class Mailbox {
+ public:
+  struct Entry {
+    Time when;
+    Event fn;
+  };
+
+  /// Producer side: stash an event destined for the consumer shard.  Only
+  /// legal during the run phase of an epoch (before the next barrier).
+  void put(Time when, Event fn) {
+    entries_.push_back(Entry{when, std::move(fn)});
+    if (entries_.size() > high_water_) high_water_ = entries_.size();
+  }
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// Consumer side: hand every stashed event to `deliver(when, fn)` in FIFO
+  /// order and reset.  Only legal between the barrier and the next run phase.
+  template <typename Fn>
+  void drain(Fn&& deliver) {
+    for (Entry& e : entries_) deliver(e.when, std::move(e.fn));
+    total_ += entries_.size();
+    entries_.clear();
+  }
+
+  /// Deepest the mailbox ever got (telemetry: sim.shard.mailbox_hwm).
+  [[nodiscard]] std::size_t high_water() const { return high_water_; }
+  /// Events that ever passed through (telemetry: sim.shard.cross_events).
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+ private:
+  std::vector<Entry> entries_;
+  std::size_t high_water_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ib12x::sim

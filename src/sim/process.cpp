@@ -52,7 +52,7 @@ void Process::fiber_main() {
   // Falling off the end returns control to the driver (Fiber::run_body).
 }
 
-Process* Process::current_ = nullptr;
+thread_local Process* Process::current_ = nullptr;
 
 void Process::resume() {
   state_ = State::Running;
@@ -96,8 +96,16 @@ Process& ProcessSet::add(std::string name, Process::Body body) {
 }
 
 void ProcessSet::run_all(Time when) {
-  for (auto& p : procs_) p->start(when);
+  start_all(when);
   sim_.run();
+  finish_all();
+}
+
+void ProcessSet::start_all(Time when) {
+  for (auto& p : procs_) p->start(when);
+}
+
+void ProcessSet::finish_all() {
   bool all_done = true;
   std::string stuck;
   for (auto& p : procs_) {
@@ -109,7 +117,7 @@ void ProcessSet::run_all(Time when) {
   }
   for (auto& p : procs_) p->rethrow_if_failed();
   if (!all_done) {
-    throw std::runtime_error("ProcessSet::run_all: deadlock — event queue empty but processes blocked: " + stuck);
+    throw std::runtime_error("ProcessSet: deadlock — event queue empty but processes blocked: " + stuck);
   }
 }
 
