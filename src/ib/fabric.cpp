@@ -7,8 +7,14 @@
 
 namespace ib12x::ib {
 
-Fabric::Fabric(sim::Simulator& sim, HcaParams hca_params, FabricParams fabric_params)
-    : sim_(sim), hca_params_(hca_params), fabric_params_(fabric_params) {}
+Fabric::Fabric(sim::Simulator& sim, HcaParams hca_params, FabricParams fabric_params,
+               TopologySpec topo_spec)
+    : sim_(sim), hca_params_(hca_params), fabric_params_(fabric_params),
+      topology_(std::make_unique<Topology>(topo_spec, fabric_params)) {
+  // Switches run on the fabric's own simulator unless the parallel engine
+  // re-homes them (Topology::assign_switch_sims, driven by mvx::World).
+  topology_->set_default_sim(&sim_);
+}
 
 Fabric::~Fabric() = default;
 
@@ -19,7 +25,13 @@ Hca& Fabric::add_hca(int node) { return add_hca(node, sim_); }
 Hca& Fabric::add_hca(int node, sim::Simulator& sim) {
   const int uid = static_cast<int>(hcas_.size());
   hcas_.push_back(std::unique_ptr<Hca>(new Hca(*this, node, hca_params_, sim, uid)));
-  return *hcas_.back();
+  Hca& hca = *hcas_.back();
+  // Every port gets the next LID in attach order; the topology's host-port
+  // enumeration follows the same order, so LID assignment is just a counter.
+  for (int p = 0; p < hca.port_count(); ++p) {
+    hca.port(p).set_lid(topology_->attach_host());
+  }
+  return hca;
 }
 
 void Fabric::connect(QueuePair& a, QueuePair& b) {

@@ -208,7 +208,14 @@ struct Transfer {
   Hca* dhca = nullptr;
   sim::BandwidthServer* engine = nullptr;   ///< send DMA engine (source port)
   sim::BandwidthServer* rengine = nullptr;  ///< recv DMA engine (dest port)
-  int eng = 0;
+  // `eng` is dead once stage_engine has captured it; the contention-mode hop
+  // chain (Switch::hop) reuses the slot as its hop index.  A union instead
+  // of a new member because this struct's allocation size must stay exactly
+  // as it was (see the fault-state note below).
+  union {
+    int eng = 0;  ///< send engine index (service → stage_engine)
+    int hop_idx;  ///< contention mode: position in the re-resolved route
+  };
   QpNum src_qp_num = 0;
   std::int64_t bytes = 0;
   std::int64_t wire_bytes = 0;
@@ -218,7 +225,12 @@ struct Transfer {
   // interval pin-down cache above is sensitive to heap layout).
   sim::Time t_bus_seg = 0, t_eng_seg = 0, t_tx_seg = 0, t_dl_seg = 0, t_re_seg = 0,
             t_dbus_seg = 0;
-  // Upstream last-byte bounds, filled in as the stages run.
+  // Upstream last-byte bounds, filled in as the stages run.  tx_last changes
+  // meaning once stage 3 runs: stage_uplink (latency-only) or the Switch::hop
+  // chain (contention mode) advances it to the last-byte arrival bound at the
+  // final switch's egress, which stage_downlink consumes.  No route state is
+  // stored here — routes are pure functions of (src lid, dst lid) and are
+  // re-resolved wherever needed, for the same allocation-size reason as above.
   sim::Time bus_last = 0, eng_last = 0, tx_last = 0, dl_last = 0, re_last = 0;
 };
 
@@ -322,6 +334,13 @@ void Port::service(QueuePair* qp, int eng) {
   auto& engine = send_engines_[static_cast<std::size_t>(eng)];
   auto& rengine = dport.recv_engines_[static_cast<std::size_t>(dst->recv_engine_idx_)];
 
+  // Route resolution: a pure function of (source lid, destination lid), so
+  // it can run on any shard without coordination.  The hops histogram is
+  // counted source-side for the same reason.
+  Topology& topo = hca_->fabric().topology();
+  const Route route = topo.resolve(lid_, dport.lid_);
+  ++hops_hist_[static_cast<std::size_t>(std::min(route.count, kMaxRouteHops))];
+
   // Pipeline model.  Each bandwidth stage is a FIFO next-free-time server
   // that carries the whole message as one contiguous reservation at its own
   // rate, so shared stages (bus, links) pack concurrent messages back to
@@ -389,12 +408,16 @@ void Port::service(QueuePair* qp, int eng) {
     const sim::Time eng_done = fetch_small.finish;
     sim.at(eng_done, [this, eng, qp] { engine_done(eng, qp); });
 
-    const sim::Time delivered = eng_done + t_bus_seg + t_tx_seg + F.wire_latency +
-                                F.switch_latency + t_dl_seg + F.wire_latency + t_re_seg +
-                                t_dbus_seg;
+    // Latency-only even in contention mode: single packets interleave at
+    // packet granularity through the switches and their bandwidth is
+    // negligible, exactly as on the bus and links (see above).  The route's
+    // forward latency on a crossbar is the legacy wire + switch sum, bit for
+    // bit; the ACK retraces the route in reverse (one packet, latency-only).
+    const sim::Time delivered = eng_done + t_bus_seg + t_tx_seg + route.fwd_latency +
+                                t_dl_seg + F.wire_latency + t_re_seg + t_dbus_seg;
     const sim::Time cqe_time =
         wr.signaled
-            ? delivered + P.ack_gen + F.wire_latency + F.switch_latency + F.wire_latency +
+            ? delivered + P.ack_gen + topo.fwd_latency(dport.lid_, lid_) + F.wire_latency +
                   P.cqe_delay + sim::transfer_time(P.cqe_bus_bytes, hca_->bus().dir_rate())
             : 0;
     st->wr = std::move(wr);
@@ -433,20 +456,110 @@ void Port::stage_engine(std::unique_ptr<Transfer> st) {
 void Port::stage_uplink(std::unique_ptr<Transfer> st) {
   sim::Simulator& sim = hca_->simulator();
   const FabricParams& F = hca_->fabric().fabric_params();
+  Topology& topo = hca_->fabric().topology();
   auto s_tx = link_tx_.reserve_bytes(sim.now(), sim.now(), st->wire_bytes);
   st->tx_last = std::max(s_tx.finish, st->eng_last + st->t_tx_seg);
 
-  // Shard hand-off point: the wire + switch hop is exactly the parallel
-  // engine's lookahead window, so t_next is always >= the epoch's window end
-  // and the cross-shard post below can never violate conservative sync.
-  // From stage 4 on, everything runs on the *destination* port (and thus the
-  // destination HCA's simulator/shard) — the event invokes the method on
-  // st->dport, which is also why stages 4-6 may use their own hca_ freely.
-  const sim::Time t_next = s_tx.start + st->t_tx_seg + F.wire_latency + F.switch_latency;
-  sim::Simulator& dsim = st->dport->hca().simulator();
-  Port* dport = st->dport;
-  sim.post(dsim, t_next,
-           [dport, st = std::move(st)]() mutable { dport->stage_downlink(std::move(st)); });
+  if (!topo.contention()) {
+    // Latency-only traversal: the hop chain collapses into the summed
+    // forward latency, preserving the legacy event structure (on a crossbar
+    // the forward latency == wire + switch, making this branch bit-identical
+    // to the closed-form path this refactor replaced).  tx_last advances to
+    // the arrival bound at the final switch's egress (see Transfer).
+    //
+    // Shard hand-off point: the forward latency >= one wire + switch hop,
+    // which is exactly the parallel engine's lookahead window, so t_next is
+    // always >= the epoch's window end and the cross-shard post below can
+    // never violate conservative sync.  From stage 4 on, everything runs on
+    // the *destination* port (and thus the destination HCA's simulator/
+    // shard) — the event invokes the method on st->dport, which is also why
+    // stages 4-6 may use their own hca_ freely.
+    const sim::Time fwd_lat = topo.fwd_latency(lid_, st->dport->lid_);
+    st->tx_last += fwd_lat;
+    const sim::Time t_next = s_tx.start + st->t_tx_seg + fwd_lat;
+    sim::Simulator& dsim = st->dport->hca().simulator();
+    Port* dport = st->dport;
+    sim.post(dsim, t_next,
+             [dport, st = std::move(st)]() mutable { dport->stage_downlink(std::move(st)); });
+    return;
+  }
+
+  // Contention mode: traverse the route switch by switch (each hop event
+  // re-resolves the route — a pure function — rather than carrying it).  The
+  // first hop arrives one wire + switch after its first segment leaves the
+  // uplink — at least the lookahead window, so the post is conservative-sync
+  // safe even when the source edge switch lives on another shard.
+  const Route route = topo.resolve(lid_, st->dport->lid_);
+  st->hop_idx = 0;
+  Switch* sw = &topo.switch_at(route.hop[0].sw);
+  const sim::Time t_hop = s_tx.start + st->t_tx_seg + F.wire_latency + F.switch_latency;
+  sim.post(*sw->simulator(), t_hop,
+           [sw, st = std::move(st)]() mutable { sw->hop(std::move(st)); });
+}
+
+// Stage 3b (contention mode only): one event per switch traversal, running
+// on the switch's own simulator.  Reserves the shared backplane (arbitration
+// capped at nonblocking_radix ports' worth of bandwidth) and, for
+// switch-to-switch links, the output port's serializer; tracks output-queue
+// depth against the configured buffer.  The fabric is lossless, so a full
+// buffer is a counted stall (credit backpressure), never a drop.
+void Switch::hop(std::unique_ptr<Transfer> st) {
+  sim::Simulator& sim = *sim_;
+  const sim::Time now = sim.now();
+  const FabricParams& F = topo_->fabric_params();
+  const Route route = topo_->resolve(st->qp->port().lid(), st->dport->lid());
+  const RouteHop h = route.hop[st->hop_idx];
+  ++routed_pkts_;
+
+  // Queue occupancy ahead of this message, in bytes booked but not yet
+  // drained (next-free-time backlog × rate).
+  const auto backlog_bytes = [now](const sim::BandwidthServer& s) -> std::int64_t {
+    const sim::Time backlog = s.free_at() - now;
+    if (backlog <= 0) return 0;
+    return static_cast<std::int64_t>(static_cast<double>(backlog) * s.rate() / 1000.0);
+  };
+  std::int64_t occ = backlog_bytes(backplane_);
+  auto s_bp = backplane_.reserve_bytes(now, now, st->wire_bytes);
+  sim::Time start = s_bp.start;
+  sim::Time fin = s_bp.finish;
+  sim::BandwidthServer* out = out_srv_.empty() ? nullptr : out_srv_[h.out_port].get();
+  if (out != nullptr) {
+    occ = std::max(occ, backlog_bytes(*out));
+    auto s_out = out->reserve_bytes(now, s_bp.start, st->wire_bytes);
+    start = s_out.start;
+    fin = std::max(fin, s_out.finish);
+  }
+  if (occ + st->wire_bytes > topo_->spec().out_buf_bytes) ++stalls_;
+  queue_hwm_bytes_ = std::max(queue_hwm_bytes_, occ + st->wire_bytes);
+
+  // Cut-through last-byte bound: the last byte cannot clear this switch
+  // before it arrived (upstream bound + inbound wire + switch) plus one
+  // segment of forwarding.  tx_last carries the running bound (see Transfer).
+  const sim::Time wire_in =
+      st->hop_idx == 0 ? F.wire_latency
+                       : (route.hop[st->hop_idx - 1].global ? topo_->global_wire_latency()
+                                                            : F.wire_latency);
+  st->tx_last = std::max(fin, st->tx_last + wire_in + F.switch_latency + st->t_tx_seg);
+
+  ++st->hop_idx;
+  if (st->hop_idx >= route.count) {
+    // Final switch: hand the message to the destination port's downlink.
+    // Hosts are co-sharded with their edge switch (assign_switch_sims
+    // enforces it), so this sub-window post never crosses a shard.
+    Port* dport = st->dport;
+    sim::Simulator& dsim = dport->hca().simulator();
+    const sim::Time t_down = start + st->t_tx_seg;  // before the lambda moves st
+    sim.post(dsim, t_down,
+             [dport, st = std::move(st)]() mutable { dport->stage_downlink(std::move(st)); });
+    return;
+  }
+  // Next switch: first segment out + wire + its switch latency.  Always
+  // >= the lookahead window, so cross-shard hops are conservative-sync safe.
+  Switch* next = &topo_->switch_at(route.hop[st->hop_idx].sw);
+  const sim::Time wire_out = h.global ? topo_->global_wire_latency() : F.wire_latency;
+  const sim::Time t_next = start + st->t_tx_seg + wire_out + F.switch_latency;
+  sim.post(*next->simulator(), t_next,
+           [next, st = std::move(st)]() mutable { next->hop(std::move(st)); });
 }
 
 // Stage 4: switch egress / downlink towards the destination port.
@@ -454,8 +567,8 @@ void Port::stage_downlink(std::unique_ptr<Transfer> st) {
   sim::Simulator& sim = hca_->simulator();
   const FabricParams& F = hca_->fabric().fabric_params();
   auto s_dl = st->dport->link_rx_.reserve_bytes(sim.now(), sim.now(), st->wire_bytes);
-  st->dl_last =
-      std::max(s_dl.finish, st->tx_last + F.wire_latency + F.switch_latency + st->t_dl_seg);
+  // tx_last was advanced to the final switch's egress bound in stage 3/3b.
+  st->dl_last = std::max(s_dl.finish, st->tx_last + st->t_dl_seg);
 
   const sim::Time t_next = s_dl.start + st->t_dl_seg + F.wire_latency;
   sim.at(t_next, [this, st = std::move(st)]() mutable { stage_recv_engine(std::move(st)); });
@@ -482,17 +595,21 @@ void Port::stage_dest_bus(std::unique_ptr<Transfer> st) {
 
   // RC acknowledgment: the responder HCA acks once the last packet is placed
   // (a requester CQE therefore implies remote data is visible — the invariant
-  // rendezvous FIN relies on).  The ACK is one packet and rides the fast path
-  // (packet-granular link arbitration), like the small-message branch.
+  // rendezvous FIN relies on).  The ACK is one packet retracing the route in
+  // reverse, latency-only — it rides the fast path (packet-granular link
+  // arbitration) like the small-message branch.  On a crossbar the reverse
+  // forward latency is the legacy wire + switch sum, bit for bit.
   // The CQE writeback burns *requester-side* bus time (this method now runs
   // on the destination port, so name the requester's HCA explicitly; all
   // HCAs share one HcaParams so the value is unchanged).
-  const sim::Time cqe_time =
-      st->wr.signaled
-          ? delivered + P.ack_gen + sim::transfer_time(P.ack_wire_bytes, P.link_rate_gbps) +
-                F.wire_latency + F.switch_latency + F.wire_latency + P.cqe_delay +
-                sim::transfer_time(P.cqe_bus_bytes, st->qp->port().hca().bus().dir_rate())
-          : 0;
+  sim::Time cqe_time = 0;
+  if (st->wr.signaled) {
+    const sim::Time ack_lat =
+        hca_->fabric().topology().fwd_latency(st->dport->lid_, st->qp->port().lid_);
+    cqe_time = delivered + P.ack_gen + sim::transfer_time(P.ack_wire_bytes, P.link_rate_gbps) +
+               ack_lat + F.wire_latency + P.cqe_delay +
+               sim::transfer_time(P.cqe_bus_bytes, st->qp->port().hca().bus().dir_rate());
+  }
   finish_transfer(std::move(st), delivered, cqe_time);
 }
 

@@ -26,6 +26,7 @@
 #include "ib/gx_bus.hpp"
 #include "ib/mem.hpp"
 #include "ib/params.hpp"
+#include "ib/topology.hpp"
 #include "ib/types.hpp"
 #include "sim/server.hpp"
 #include "sim/simulator.hpp"
@@ -196,6 +197,18 @@ class Port {
  public:
   [[nodiscard]] Hca& hca() const { return *hca_; }
   [[nodiscard]] int index() const { return index_; }
+  /// Topology-assigned local identifier (set when Fabric attaches the HCA).
+  [[nodiscard]] Lid lid() const { return lid_; }
+  void set_lid(Lid lid) { lid_ = lid; }
+
+  /// Source-side route-length histogram: hops_taken(h) counts messages this
+  /// port sent whose route crossed h switches (1 on a crossbar).  Counted at
+  /// WQE service time so it is shard-safe by construction.
+  [[nodiscard]] std::uint64_t hops_taken(int hops) const {
+    return (hops >= 1 && hops <= kMaxRouteHops)
+               ? hops_hist_[static_cast<std::size_t>(hops)]
+               : 0;
+  }
 
   [[nodiscard]] int send_engine_count() const { return static_cast<int>(send_engines_.size()); }
   [[nodiscard]] sim::Time send_engine_busy(int i) const { return send_engines_[i].busy_time(); }
@@ -211,6 +224,7 @@ class Port {
   friend class Hca;
   friend class QueuePair;
   friend class Fabric;
+  friend class Switch;              ///< hop-by-hop traversal hands to stage_downlink
   friend class SharedReceiveQueue;  ///< redelivery of stalled SRQ messages
 
   Port(Hca& hca, int index);
@@ -245,6 +259,7 @@ class Port {
 
   Hca* hca_;
   int index_;
+  Lid lid_ = kInvalidLid;
 
   sim::BandwidthServer link_tx_;  ///< port → switch
   sim::BandwidthServer link_rx_;  ///< switch → port (egress of the switch)
@@ -255,6 +270,7 @@ class Port {
 
   std::uint64_t wqes_serviced_ = 0;
   std::uint64_t bytes_tx_ = 0;
+  std::uint64_t hops_hist_[kMaxRouteHops + 1] = {};
   int next_recv_engine_ = 0;
 };
 
@@ -319,6 +335,12 @@ class Hca {
     sim::Time t = 0;
     for (const auto& p : ports_) t += p->send_engine_busy_total();
     return t;
+  }
+  /// Telemetry: messages sent whose route crossed `hops` switches.
+  [[nodiscard]] std::uint64_t total_hops_taken(int hops) const {
+    std::uint64_t n = 0;
+    for (const auto& p : ports_) n += p->hops_taken(hops);
+    return n;
   }
 
  private:

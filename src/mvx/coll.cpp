@@ -41,6 +41,7 @@ coll::BuildCtx Communicator::base_ctx() const {
   c.ctx = ctx_base_ + 1;
   c.cfg = &ep_->config();
   c.nrails = ep_->config().rails();
+  c.scratch = &ep_->coll_engine().scratch_pool();
   return c;
 }
 

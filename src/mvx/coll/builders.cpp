@@ -190,6 +190,7 @@ std::vector<std::size_t> lane_split(std::size_t total, int lanes) {
 CollSchedule build_barrier_dissemination(const BuildCtx& c) {
   CollSchedule s;
   s.ctx = c.ctx;
+  s.set_scratch_pool(c.scratch);
   const int tag = c.fresh_tag();
   std::byte* dummy = s.scratch(1);
   // Dissemination barrier: ceil(log2 p) rounds of zero-byte sendrecv.
@@ -207,6 +208,7 @@ CollSchedule build_barrier_dissemination(const BuildCtx& c) {
 CollSchedule build_bcast_binomial(const BuildCtx& c) {
   CollSchedule s;
   s.ctx = c.ctx;
+  s.set_scratch_pool(c.scratch);
   append_bcast_binomial(s, c, bytes_of(c.recvbuf), c.count * c.dt.size, c.root, c.fresh_tag(), -1,
                         -1);
   return s;
@@ -215,6 +217,7 @@ CollSchedule build_bcast_binomial(const BuildCtx& c) {
 CollSchedule build_bcast_multilane(const BuildCtx& c) {
   CollSchedule s;
   s.ctx = c.ctx;
+  s.set_scratch_pool(c.scratch);
   const std::size_t bytes = c.count * c.dt.size;
   const int L = std::max(1, std::min<int>(lane_width(c.cfg->coll, c.nrails),
                                           static_cast<int>(std::max<std::size_t>(bytes, 1))));
@@ -234,6 +237,7 @@ CollSchedule build_bcast_multilane(const BuildCtx& c) {
 CollSchedule build_reduce_binomial(const BuildCtx& c) {
   CollSchedule s;
   s.ctx = c.ctx;
+  s.set_scratch_pool(c.scratch);
   append_reduce_binomial(s, c, c.sendbuf, c.recvbuf, c.count, c.dt, c.redop, c.root, c.fresh_tag(),
                          -1, -1);
   return s;
@@ -242,6 +246,7 @@ CollSchedule build_reduce_binomial(const BuildCtx& c) {
 CollSchedule build_allreduce_recursive_doubling(const BuildCtx& c) {
   CollSchedule s;
   s.ctx = c.ctx;
+  s.set_scratch_pool(c.scratch);
   append_allreduce_rd(s, c, c.recvbuf, c.count, c.dt, c.redop, c.fresh_tag(), -1, -1);
   return s;
 }
@@ -249,6 +254,7 @@ CollSchedule build_allreduce_recursive_doubling(const BuildCtx& c) {
 CollSchedule build_allreduce_reduce_bcast(const BuildCtx& c) {
   CollSchedule s;
   s.ctx = c.ctx;
+  s.set_scratch_pool(c.scratch);
   // reduce to comm rank 0, then broadcast — the non-power-of-two fallback.
   const int tag_reduce = c.fresh_tag();
   const int tag_bcast = c.fresh_tag();
@@ -261,6 +267,7 @@ CollSchedule build_allreduce_reduce_bcast(const BuildCtx& c) {
 CollSchedule build_allreduce_rabenseifner(const BuildCtx& c) {
   CollSchedule s;
   s.ctx = c.ctx;
+  s.set_scratch_pool(c.scratch);
   // Reduce-scatter over padded equal blocks, then allgatherv of the unpadded
   // pieces.  Moves 2·(p-1)/p of the vector instead of log p full copies.
   const std::size_t bytes = c.count * c.dt.size;
@@ -291,6 +298,7 @@ CollSchedule build_allreduce_rabenseifner(const BuildCtx& c) {
 CollSchedule build_allreduce_multilane(const BuildCtx& c) {
   CollSchedule s;
   s.ctx = c.ctx;
+  s.set_scratch_pool(c.scratch);
   // Element-aligned lane decomposition: each lane allreduces its slice with
   // the base algorithm on its own tag, pinned to rail (lane % nrails).
   const int L = std::max(1, std::min<int>(lane_width(c.cfg->coll, c.nrails),
@@ -317,6 +325,7 @@ CollSchedule build_allreduce_multilane(const BuildCtx& c) {
 CollSchedule build_gather_linear(const BuildCtx& c) {
   CollSchedule s;
   s.ctx = c.ctx;
+  s.set_scratch_pool(c.scratch);
   const std::size_t bytes = c.count * c.dt.size;
   const int tag = c.fresh_tag();
   const int r0 = s.add_round();
@@ -340,6 +349,7 @@ CollSchedule build_gather_linear(const BuildCtx& c) {
 CollSchedule build_gatherv_linear(const BuildCtx& c) {
   CollSchedule s;
   s.ctx = c.ctx;
+  s.set_scratch_pool(c.scratch);
   const int tag = c.fresh_tag();
   const int r0 = s.add_round();
   if (c.me == c.root) {
@@ -365,6 +375,7 @@ CollSchedule build_gatherv_linear(const BuildCtx& c) {
 CollSchedule build_scatter_linear(const BuildCtx& c) {
   CollSchedule s;
   s.ctx = c.ctx;
+  s.set_scratch_pool(c.scratch);
   const std::size_t bytes = c.count * c.dt.size;
   const int tag = c.fresh_tag();
   const int r0 = s.add_round();
@@ -388,6 +399,7 @@ CollSchedule build_scatter_linear(const BuildCtx& c) {
 CollSchedule build_allgather_ring(const BuildCtx& c) {
   CollSchedule s;
   s.ctx = c.ctx;
+  s.set_scratch_pool(c.scratch);
   const auto n = static_cast<std::int64_t>(c.count);
   std::vector<std::int64_t> counts(static_cast<std::size_t>(c.p), n);
   std::vector<std::int64_t> displs(static_cast<std::size_t>(c.p));
@@ -400,6 +412,7 @@ CollSchedule build_allgather_ring(const BuildCtx& c) {
 CollSchedule build_allgatherv_ring(const BuildCtx& c) {
   CollSchedule s;
   s.ctx = c.ctx;
+  s.set_scratch_pool(c.scratch);
   append_allgatherv_ring(s, c, bytes_of(c.recvbuf), *c.rcounts, *c.rdispls, c.dt.size,
                          c.fresh_tag(), -1, -1, nullptr);
   return s;
@@ -408,6 +421,7 @@ CollSchedule build_allgatherv_ring(const BuildCtx& c) {
 CollSchedule build_alltoall_pairwise(const BuildCtx& c) {
   CollSchedule s;
   s.ctx = c.ctx;
+  s.set_scratch_pool(c.scratch);
   // Pairwise exchange (MPI_Sendrecv per step): XOR partners when p is a
   // power of two, ring offsets otherwise.
   const std::size_t bytes = c.count * c.dt.size;
@@ -435,6 +449,7 @@ CollSchedule build_alltoall_pairwise(const BuildCtx& c) {
 CollSchedule build_alltoall_bruck(const BuildCtx& c) {
   CollSchedule s;
   s.ctx = c.ctx;
+  s.set_scratch_pool(c.scratch);
   const std::size_t bytes = c.count * c.dt.size;
   const auto* in = bytes_of(c.sendbuf);
   auto* out = bytes_of(c.recvbuf);
@@ -496,6 +511,7 @@ CollSchedule build_alltoall_bruck(const BuildCtx& c) {
 CollSchedule build_alltoallv_pairwise(const BuildCtx& c) {
   CollSchedule s;
   s.ctx = c.ctx;
+  s.set_scratch_pool(c.scratch);
   const auto* in = bytes_of(c.sendbuf);
   auto* out = bytes_of(c.recvbuf);
   const std::size_t es = c.dt.size;
@@ -527,6 +543,7 @@ CollSchedule build_alltoallv_pairwise(const BuildCtx& c) {
 CollSchedule build_reduce_scatter_block_pairwise(const BuildCtx& c) {
   CollSchedule s;
   s.ctx = c.ctx;
+  s.set_scratch_pool(c.scratch);
   append_reduce_scatter_block(s, c, c.sendbuf, c.recvbuf, c.count, c.dt, c.redop, c.fresh_tag(),
                               -1, -1);
   return s;
@@ -535,6 +552,7 @@ CollSchedule build_reduce_scatter_block_pairwise(const BuildCtx& c) {
 CollSchedule build_scan_hillis_steele(const BuildCtx& c) {
   CollSchedule s;
   s.ctx = c.ctx;
+  s.set_scratch_pool(c.scratch);
   // Hillis–Steele inclusive scan: log2 p rounds; rank r folds in the value
   // from r - 2^k when it exists.  recvbuf is pre-seeded by the caller.
   const std::size_t bytes = c.count * c.dt.size;

@@ -40,6 +40,7 @@ struct BuildCtx {
   TagRing::Block tags;                      ///< reserved 256-tag sub-range
   const Config* cfg = nullptr;
   int nrails = 1;
+  ScratchPool* scratch = nullptr;           ///< the rank's scratch recycling pool
 
   // ---- call arguments ----
   const void* sendbuf = nullptr;

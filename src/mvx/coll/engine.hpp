@@ -60,6 +60,10 @@ class CollEngine {
   /// Number of schedules currently in flight.
   [[nodiscard]] int in_flight() const { return static_cast<int>(active_.size()); }
 
+  /// The rank's scratch recycling pool (attached to every schedule this
+  /// rank builds; see ScratchPool).
+  [[nodiscard]] ScratchPool& scratch_pool() { return scratch_pool_; }
+
  private:
   struct Exec;
 
@@ -73,6 +77,7 @@ class CollEngine {
 
   Endpoint& ep_;
   std::vector<std::unique_ptr<Exec>> active_;
+  ScratchPool scratch_pool_;
   bool shutdown_ = false;
 
   Counter& schedules_;

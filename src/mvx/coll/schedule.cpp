@@ -1,5 +1,6 @@
 #include "mvx/coll/schedule.hpp"
 
+#include <cstring>
 #include <numeric>
 #include <stdexcept>
 
@@ -72,8 +73,31 @@ void CollSchedule::cpu(int r, sim::Time t) {
 }
 
 std::byte* CollSchedule::scratch(std::size_t n) {
+  if (pool_ != nullptr) {
+    std::byte* p = pool_->get(n);
+    pooled_.emplace_back(p, n);
+    return p;
+  }
   scratch_.emplace_back(n);
   return scratch_.back().data();
 }
+
+CollSchedule::~CollSchedule() {
+  for (const auto& [p, n] : pooled_) pool_->put(p, n);
+}
+
+std::byte* ScratchPool::get(std::size_t n) {
+  auto it = free_.find(n);
+  if (it != free_.end() && !it->second.empty()) {
+    std::byte* p = it->second.back();
+    it->second.pop_back();
+    std::memset(p, 0, n);  // scratch is zero-filled, reused or fresh
+    return p;
+  }
+  blocks_.push_back(std::make_unique<std::byte[]>(n));  // value-init: zeroed
+  return blocks_.back().get();
+}
+
+void ScratchPool::put(std::byte* p, std::size_t n) { free_[n].push_back(p); }
 
 }  // namespace ib12x::mvx::coll

@@ -23,12 +23,37 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "mvx/datatype.hpp"
 #include "sim/time.hpp"
 
 namespace ib12x::mvx::coll {
+
+/// Per-rank recycling arena for schedule scratch blocks.  A schedule returns
+/// its blocks on destruction and later schedules reuse them (exact-size LIFO
+/// buckets), so a rank's collective staging addresses stabilize after the
+/// first collective of each size — real MPI libraries pool collective
+/// staging for exactly this reason: it keeps the registration cache warm.
+/// It is also what makes repeated runs bit-reproducible: fresh malloc per
+/// collective would let the host allocator decide whether a new block lands
+/// on a previously pinned (and still cached) address, and that decision is
+/// not stable across two runs in one process.
+class ScratchPool {
+ public:
+  /// Returns a zero-filled block of exactly `n` bytes, reusing a returned
+  /// block of the same size when one exists (LIFO).
+  std::byte* get(std::size_t n);
+  /// Hands a block obtained from get(n) back for reuse.
+  void put(std::byte* p, std::size_t n);
+
+ private:
+  std::vector<std::unique_ptr<std::byte[]>> blocks_;     ///< owns every block
+  std::map<std::size_t, std::vector<std::byte*>> free_;  ///< size -> LIFO free list
+};
 
 struct CollOp {
   enum class Kind : std::uint8_t {
@@ -59,6 +84,11 @@ struct CollRound {
 
 class CollSchedule {
  public:
+  CollSchedule() = default;
+  CollSchedule(CollSchedule&&) noexcept = default;
+  CollSchedule& operator=(CollSchedule&&) noexcept = default;
+  ~CollSchedule();  ///< returns pooled scratch blocks (no-op if moved-from)
+
   /// Appends an empty round; `deps` lists prerequisite round indices
   /// (pass {} for a DAG root, or {prev} to chain).  Returns its index.
   int add_round(std::vector<int> deps = {});
@@ -74,9 +104,15 @@ class CollSchedule {
   void copy(int r, void* dst, const void* src, std::int64_t bytes);
   void cpu(int r, sim::Time t);
 
-  /// Allocates `n` bytes of scratch owned by (and living as long as) the
-  /// schedule.  Addresses are stable across later allocations.
+  /// Allocates `n` bytes of zero-filled scratch owned by (and living as long
+  /// as) the schedule.  Addresses are stable across later allocations.  With
+  /// a pool attached the block is leased from it and returned at schedule
+  /// destruction; otherwise the schedule mallocs privately (test-built
+  /// schedules without a BuildCtx).
   std::byte* scratch(std::size_t n);
+
+  /// Attaches the per-rank recycling pool; must precede any scratch() call.
+  void set_scratch_pool(ScratchPool* p) { pool_ = p; }
 
   [[nodiscard]] std::size_t round_count() const { return rounds_.size(); }
   [[nodiscard]] const std::vector<CollRound>& rounds() const { return rounds_; }
@@ -86,7 +122,9 @@ class CollSchedule {
 
  private:
   std::vector<CollRound> rounds_;
-  std::deque<std::vector<std::byte>> scratch_;  // deque: stable element addresses
+  ScratchPool* pool_ = nullptr;
+  std::vector<std::pair<std::byte*, std::size_t>> pooled_;  // leased blocks to return
+  std::deque<std::vector<std::byte>> scratch_;  // pool-less fallback: stable addresses
 };
 
 }  // namespace ib12x::mvx::coll

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "ib/params.hpp"
+#include "ib/topology.hpp"
 #include "mvx/coll/select.hpp"
 #include "mvx/policy.hpp"
 #include "sim/time.hpp"
@@ -96,15 +97,35 @@ struct Config {
   /// `rndv.reg_cache_evictions` counts them.
   std::int64_t reg_cache_capacity = 0;
 
+  // ---- switched fabric topology -------------------------------------------
+  /// Shape, routing and contention model of the subnet (ib/topology.hpp).
+  /// The default — single crossbar switch, contention off — reproduces the
+  /// seed's closed-form wire path bit for bit; fat-tree/dragonfly shapes and
+  /// `topo.contention = true` turn on hop-by-hop routed traversal.  Sizing
+  /// fields left at 0 are derived from the cluster shape when the World is
+  /// built (smallest fabric of that shape that fits every port).
+  ib::TopologySpec topo;
+
   // ---- parallel simulation ------------------------------------------------
   /// Simulator shards (OS threads) for the conservative parallel engine
   /// (sim/shard.hpp).  1 (the default) runs the exact legacy single-threaded
   /// engine, bit for bit.  N > 1 partitions nodes over min(N, nodes) shards
-  /// (node → shard round-robin, so intra-node shm traffic never crosses a
-  /// shard) and produces bit-identical simulated-time results to the
+  /// and produces bit-identical simulated-time results to the
   /// single-threaded oracle.  Requires lazy_connect = false: all QP/rail
   /// wiring must happen single-threaded before the parallel run starts.
   int sim_shards = 1;
+
+  /// Node → shard placement for sim_shards > 1.  RoundRobin is the legacy
+  /// node-index-modulo-shards layout; Locality places nodes by their edge
+  /// switch (or dragonfly group), so fabric neighbours share a shard and
+  /// fewer transfers cross the conservative-sync boundary.  Auto picks
+  /// RoundRobin on a crossbar (every placement is equivalent there — keeps
+  /// legacy runs bit-identical) and Locality on fat-tree/dragonfly shapes.
+  /// Contention mode with sim_shards > 1 requires Locality: every Switch::hop
+  /// chain ends with a same-shard hand-off to the destination host, which
+  /// only holds when hosts are co-sharded with their edge switch.
+  enum class ShardPlacement { Auto, RoundRobin, Locality };
+  ShardPlacement shard_placement = ShardPlacement::Auto;
 
   // ---- fault injection / failover ----------------------------------------
   /// Deterministic fault model (ib::FaultPlan) plus the transport's failover

@@ -8,48 +8,174 @@
 
 #include "ib/fault.hpp"
 #include "ib/hca.hpp"
+#include "ib/topology.hpp"
 #include "mvx/coll/engine.hpp"
 #include "mvx/conn_manager.hpp"
 #include "sim/shard.hpp"
 #include "sim/time.hpp"
 
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
 namespace ib12x::mvx {
 
+namespace {
+
+/// The pin-down cache models registration reuse by real buffer address, so
+/// bit-reproducibility of repeated in-process runs needs the host allocator
+/// to place identical allocation sequences identically.  glibc's *dynamic*
+/// mmap threshold breaks that: the first free of a >=128 KiB mmap'd block
+/// raises the threshold, silently moving later same-sized buffers from mmap
+/// to the brk heap — so a second, identical run sees a different aliasing
+/// pattern than the first and reg-cache hit counts diverge.  Pinning the
+/// threshold at its default disables the adjustment (the placement policy,
+/// not the placements, becomes run-invariant).  No-op off glibc.
+void pin_host_allocator_policy() {
+#if defined(__GLIBC__)
+  static const bool once = [] {
+    mallopt(M_MMAP_THRESHOLD, 128 * 1024);
+    return true;
+  }();
+  (void)once;
+#endif
+}
+
+}  // namespace
+
 World::World(ClusterSpec spec, Config cfg) : spec_(spec), cfg_(cfg) {
+  pin_host_allocator_policy();
   if (cfg_.ports_per_hca > cfg_.hca.ports) {
     // Make the modelled HCA expose as many ports as the rail layout uses.
     cfg_.hca.ports = cfg_.ports_per_hca;
   }
 
-  // Parallel engine: min(sim_shards, nodes) shards, nodes placed round-robin
-  // so every intra-node object (endpoints, shm channels, HCAs) shares a
-  // shard and only fabric traffic ever crosses shards.  Shard 0 is sim_
-  // itself: with one shard nothing below ever branches off the legacy path.
+  // Normalize the topology spec against the cluster shape: auto-derived
+  // fat-tree/dragonfly parameters must seat every host port, fixed ones must
+  // be big enough.  The normalized spec is written back so config() exposes
+  // the derived geometry.
+  const int ports_per_node = cfg_.hcas_per_node * cfg_.hca.ports;
+  cfg_.topo.min_hosts = spec_.nodes * ports_per_node;
+  cfg_.topo = ib::Topology::normalize(cfg_.topo);
+  const std::int64_t cap = ib::Topology::capacity_of(cfg_.topo);
+  if (cap >= 0 && cap < cfg_.topo.min_hosts) {
+    throw std::invalid_argument(
+        "Config: topo shape seats " + std::to_string(cap) + " host ports but the cluster needs " +
+        std::to_string(cfg_.topo.min_hosts) +
+        " (nodes * hcas_per_node * hca.ports); raise the fixed shape parameters "
+        "(topo.fattree_k / topo.df_*) or leave them 0 to auto-derive");
+  }
+
+  // Parallel engine: min(sim_shards, nodes) shards.  Nodes are placed whole
+  // (endpoints, shm channels, HCAs of one node always share a shard, so only
+  // fabric traffic crosses shards); *which* shard is the placement policy
+  // below.  Shard 0 is sim_ itself: with one shard nothing below ever
+  // branches off the legacy path.
   const int shards = std::min(std::max(cfg_.sim_shards, 1), std::max(spec_.nodes, 1));
+  using SP = Config::ShardPlacement;
+  SP place = cfg_.shard_placement;
+  if (place == SP::Auto) {
+    // On a crossbar every placement is equivalent (one switch, uniform
+    // distance) — RoundRobin keeps legacy sharded runs bit-identical.  The
+    // multi-switch shapes default to fabric locality.
+    place = cfg_.topo.shape == ib::TopoShape::Crossbar ? SP::RoundRobin : SP::Locality;
+  }
   sims_.push_back(&sim_);
   if (shards > 1) {
     if (cfg_.lazy_connect) {
       throw std::invalid_argument(
-          "World: sim_shards > 1 requires lazy_connect = false (all QP/rail "
-          "wiring must be built single-threaded before the parallel run)");
+          "Config: sim_shards = " + std::to_string(cfg_.sim_shards) +
+          " conflicts with lazy_connect = true: the parallel engine needs every "
+          "QP/rail wired single-threaded before the shard threads start, but "
+          "lazy_connect wires pairs mid-run on first contact.  Supported "
+          "combinations: sim_shards > 1 with lazy_connect = false, or "
+          "lazy_connect = true with sim_shards = 1");
     }
+    if (cfg_.topo.contention) {
+      if (cfg_.topo.shape == ib::TopoShape::Crossbar) {
+        throw std::invalid_argument(
+            "Config: topo.contention = true with topo.shape = Crossbar conflicts "
+            "with sim_shards = " + std::to_string(cfg_.sim_shards) +
+            ": a single-switch fabric serializes every hop through one arbiter "
+            "and cannot be partitioned across shards.  Supported combinations: "
+            "contention on FatTree/Dragonfly with sim_shards > 1, or a Crossbar "
+            "with sim_shards = 1");
+      }
+      if (place == SP::RoundRobin) {
+        throw std::invalid_argument(
+            "Config: shard_placement = RoundRobin conflicts with topo.contention "
+            "= true and sim_shards = " + std::to_string(cfg_.sim_shards) +
+            ": hop events mutate switch queue state, so every host must share a "
+            "shard with its edge switch.  Use shard_placement = Locality (or "
+            "Auto, which picks it on switched shapes)");
+      }
+    }
+  }
+
+  fabric_ = std::make_unique<ib::Fabric>(sim_, cfg_.hca, cfg_.fabric, cfg_.topo);
+
+  if (shards > 1) {
     for (int s = 1; s < shards; ++s) {
       shard_sims_.push_back(std::make_unique<sim::Simulator>());
       sims_.push_back(shard_sims_.back().get());
     }
     // Conservative lookahead: one wire + switch hop is the minimum virtual
-    // time any cross-shard interaction spans (see Port::stage_uplink).
-    const sim::Time lookahead = cfg_.fabric.wire_latency + cfg_.fabric.switch_latency;
-    engine_ = std::make_unique<sim::ShardEngine>(sims_, lookahead);
+    // time any cross-shard interaction spans (see Port::stage_uplink and
+    // Switch::hop).
+    engine_ = std::make_unique<sim::ShardEngine>(sims_, fabric_->topology().min_hop_latency());
   }
 
-  fabric_ = std::make_unique<ib::Fabric>(sim_, cfg_.hca, cfg_.fabric);
+  // Node -> shard placement.  LIDs are assigned in node order below, so node
+  // n's ports occupy lids [n*ports_per_node, (n+1)*ports_per_node).
+  node_shard_.assign(static_cast<std::size_t>(std::max(spec_.nodes, 1)), 0);
+  if (shards > 1) {
+    if (place == SP::RoundRobin) {
+      for (int n = 0; n < spec_.nodes; ++n) node_shard_[static_cast<std::size_t>(n)] = n % shards;
+    } else {
+      // Locality: nodes hanging off the same edge switch (dragonfly router)
+      // must land on one shard, and neighbouring switches should too.  LIDs
+      // ascend with node index and edge_switch_of is monotone in the lid, so
+      // grouping is a single pass: a node opens a new group only when its
+      // first port's switch is past every switch the previous nodes touched
+      // (a node whose ports straddle two switches fuses them into one group).
+      // Groups are then block-partitioned over the shards in order.
+      const ib::Topology& topo = fabric_->topology();
+      std::vector<int> node_group(static_cast<std::size_t>(spec_.nodes), 0);
+      int groups = 0;
+      int last_edge = -1;
+      for (int n = 0; n < spec_.nodes; ++n) {
+        const auto first = static_cast<ib::Lid>(n * ports_per_node);
+        const auto last = static_cast<ib::Lid>((n + 1) * ports_per_node - 1);
+        const int first_edge = topo.edge_switch_of(first);
+        if (first_edge > last_edge) ++groups;
+        node_group[static_cast<std::size_t>(n)] = groups - 1;
+        last_edge = std::max(last_edge, topo.edge_switch_of(last));
+      }
+      for (int n = 0; n < spec_.nodes; ++n) {
+        node_shard_[static_cast<std::size_t>(n)] =
+            static_cast<int>(static_cast<std::int64_t>(node_group[static_cast<std::size_t>(n)]) *
+                             shards / groups);
+      }
+    }
+  }
 
   node_hcas_.resize(static_cast<std::size_t>(spec_.nodes));
   for (int n = 0; n < spec_.nodes; ++n) {
     for (int h = 0; h < cfg_.hcas_per_node; ++h) {
       node_hcas_[static_cast<std::size_t>(n)].push_back(&fabric_->add_hca(n, shard_sim(n)));
     }
+  }
+
+  // Sharded contention mode: each switch's queue state must live on the
+  // shard thread of the hosts it serves (the Locality placement above makes
+  // the assignment well-defined).
+  if (engine_ && fabric_->topology().contention()) {
+    std::vector<sim::Simulator*> sim_of_lid;
+    sim_of_lid.reserve(static_cast<std::size_t>(spec_.nodes * ports_per_node));
+    for (int n = 0; n < spec_.nodes; ++n) {
+      for (int p = 0; p < ports_per_node; ++p) sim_of_lid.push_back(&shard_sim(n));
+    }
+    fabric_->topology().assign_switch_sims(sim_of_lid, sims_);
   }
 
   if (cfg_.fault.enabled) {
@@ -99,6 +225,34 @@ World::World(ClusterSpec spec, Config cfg) : spec_(spec), cfg_(cfg) {
       tel_.gauge("ib.bytes_tx", [hca] { return static_cast<double>(hca->total_bytes_tx()); });
       tel_.gauge("hca.doorbells",
                  [hca] { return static_cast<double>(hca->total_doorbells()); });
+    }
+  }
+
+  // Switched-fabric telemetry.  Registered only when the topology actually
+  // routes (multi-switch shape) or arbitrates (contention), so the default
+  // crossbar-without-contention snapshot stays byte-identical to previous
+  // releases.  The queue/stall counters move only in contention mode; the
+  // hops histogram counts on every shape.
+  if (cfg_.topo.shape != ib::TopoShape::Crossbar || cfg_.topo.contention) {
+    ib::Topology* topo = &fabric_->topology();
+    tel_.gauge("fabric.switch.count",
+               [topo] { return static_cast<double>(topo->switch_count()); });
+    tel_.gauge("fabric.switch.routed_pkts",
+               [topo] { return static_cast<double>(topo->total_routed_pkts()); });
+    tel_.gauge("fabric.switch.stalls",
+               [topo] { return static_cast<double>(topo->total_stalls()); });
+    tel_.gauge("fabric.switch.drops",
+               [topo] { return static_cast<double>(topo->total_drops()); });
+    tel_.gauge("fabric.switch.queue_hwm_bytes",
+               [topo] { return static_cast<double>(topo->max_queue_hwm_bytes()); });
+    for (int h = 1; h <= ib::kMaxRouteHops; ++h) {
+      tel_.gauge("fabric.switch.hops.h" + std::to_string(h), [this, h] {
+        std::uint64_t n = 0;
+        for (const auto& node : node_hcas_) {
+          for (const ib::Hca* hca : node) n += hca->total_hops_taken(h);
+        }
+        return static_cast<double>(n);
+      });
     }
   }
 
@@ -240,7 +394,7 @@ void World::run_sharded(const std::function<void(Communicator&)>& rank_main) {
 
   for (int r = 0; r < ranks(); ++r) {
     const int node = r / spec_.procs_per_node;
-    sim::ProcessSet& procs = *sets[static_cast<std::size_t>(node) % sims_.size()];
+    sim::ProcessSet& procs = *sets[static_cast<std::size_t>(node_shard(node))];
     Endpoint* ep = eps_[static_cast<std::size_t>(r)].get();
     ep->coll_engine().begin_run();
     order.push_back(

@@ -40,9 +40,15 @@ class World {
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   /// Simulator shards actually in use (1 without the parallel engine).
   [[nodiscard]] int shard_count() const { return static_cast<int>(sims_.size()); }
+  /// Shard index node `node`'s objects live on (0 when unsharded).  Filled by
+  /// the placement policy (Config::shard_placement): round-robin or fabric
+  /// locality.
+  [[nodiscard]] int node_shard(int node) const {
+    return node_shard_.empty() ? 0 : node_shard_[static_cast<std::size_t>(node)];
+  }
   /// The shard node `node`'s objects live on (== simulator() when unsharded).
   [[nodiscard]] sim::Simulator& shard_sim(int node) {
-    return *sims_[static_cast<std::size_t>(node) % sims_.size()];
+    return *sims_[static_cast<std::size_t>(node_shard(node))];
   }
   /// Events processed across every shard (the oracle-comparable total).
   [[nodiscard]] std::uint64_t events_processed() const {
@@ -93,6 +99,7 @@ class World {
   std::vector<std::unique_ptr<sim::Simulator>> shard_sims_;
   std::unique_ptr<sim::ShardEngine> engine_;
   std::vector<sim::Simulator*> sims_;  ///< all shards; size 1 when unsharded
+  std::vector<int> node_shard_;        ///< node -> shard index (placement policy)
   std::unique_ptr<ib::Fabric> fabric_;
   std::vector<std::vector<ib::Hca*>> node_hcas_;
   TelemetryRegistry tel_;  ///< declared before eps_: endpoints hold handles into it

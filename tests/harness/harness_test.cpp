@@ -117,6 +117,39 @@ TEST(TelemetryTable, ExposesShardGaugesInShardedRuns) {
   EXPECT_GE(rows["sim.shard.mailbox_hwm"], 1.0);
 }
 
+TEST(TelemetryTable, ExposesSwitchGaugesOnRoutedTopologies) {
+  // On a routed topology the per-layer table must carry the fabric.switch.*
+  // group: switch count, routed packets, stall/drop counters, the output
+  // queue high-water mark, and the hops histogram.
+  mvx::Config cfg = mvx::Config::enhanced(2, mvx::Policy::EPC);
+  cfg.topo.shape = ib::TopoShape::FatTree;
+  cfg.topo.contention = true;
+  mvx::World w(mvx::ClusterSpec{4, 1}, cfg);
+  w.run([](mvx::Communicator& c) {
+    constexpr std::size_t kBytes = 256 * 1024;
+    const int peer = (c.rank() + c.size() / 2) % c.size();
+    std::vector<std::byte> out(kBytes), in(kBytes);
+    c.sendrecv(out.data(), kBytes, mvx::BYTE, peer, 0, in.data(), kBytes, mvx::BYTE, peer, 0);
+  });
+
+  const Table t = telemetry_table(w);
+  std::map<std::string, double> rows;
+  for (std::size_t i = 0; i < t.row_count(); ++i) rows[t.row_label(i)] = t.value(i, 0);
+  for (const char* name :
+       {"fabric.switch.count", "fabric.switch.routed_pkts", "fabric.switch.stalls",
+        "fabric.switch.drops", "fabric.switch.queue_hwm_bytes", "fabric.switch.hops.h1",
+        "fabric.switch.hops.h3", "fabric.switch.hops.h5"}) {
+    ASSERT_TRUE(rows.count(name)) << name << " missing from telemetry table";
+  }
+  EXPECT_GT(rows["fabric.switch.count"], 1.0);
+  EXPECT_GT(rows["fabric.switch.routed_pkts"], 0.0);
+  EXPECT_GT(rows["fabric.switch.queue_hwm_bytes"], 0.0);
+  EXPECT_EQ(rows["fabric.switch.drops"], 0.0);  // lossless fabric
+  EXPECT_GT(rows["fabric.switch.hops.h1"] + rows["fabric.switch.hops.h3"] +
+                rows["fabric.switch.hops.h5"],
+            0.0);
+}
+
 TEST(Runner, MeasurementsAreDeterministic) {
   BenchParams bp;
   bp.lat_iters = 30;
