@@ -61,6 +61,15 @@ class ChannelHost {
   /// control processing, receive copies) on this rank's host CPU: `fn` runs
   /// once the CPU has spent `cost` on it, queued behind earlier work.
   virtual void schedule_cpu(sim::Time cost, std::function<void()> fn) = 0;
+
+  /// VCI-routed variant of schedule_cpu: protocol work belonging to VCI
+  /// `vci` is serialized on that VCI's own progress server instead of the
+  /// rank-wide one, so independent VCIs process completions in parallel.
+  /// Default forwards to schedule_cpu (single-channel hosts).
+  virtual void schedule_cpu_vci(int vci, sim::Time cost, std::function<void()> fn) {
+    (void)vci;
+    schedule_cpu(cost, std::move(fn));
+  }
   [[nodiscard]] virtual sim::Time memcpy_time(std::int64_t bytes) const = 0;
 
   /// Entry point for every sequenced inbound message (Eager/Rts): ordering,

@@ -120,6 +120,10 @@ class Communicator {
 
   [[nodiscard]] Endpoint& endpoint() const { return *ep_; }
 
+  /// Index of the modeled app thread driving this call (0 unless the rank
+  /// was configured with vci.threads > 1 and this fiber was registered).
+  [[nodiscard]] int thread_id() const { return ep_->current_thread(); }
+
   /// Test hook: this communicator's collective tag ring (wraparound tests).
   [[nodiscard]] coll::TagRing& debug_tag_ring() { return *tag_ring_; }
 

@@ -17,6 +17,10 @@
 
 namespace ib12x::mvx {
 
+/// Hard cap on VCIs per rank (wire format carries the VCI id in one byte and
+/// benches sweep 1–8; the cap keeps per-peer rail vectors bounded).
+inline constexpr int kMaxVcis = 8;
+
 struct ClusterSpec {
   int nodes = 2;
   int procs_per_node = 1;
@@ -96,6 +100,35 @@ struct Config {
   /// exceeded, least-recently-used unpinned regions are deregistered and
   /// `rndv.reg_cache_evictions` counts them.
   std::int64_t reg_cache_capacity = 0;
+
+  // ---- virtual communication interfaces (MPI+threads) ---------------------
+  /// Zambre-style VCIs: each rank hosts `vci.count` independent software
+  /// channels.  A VCI owns its own QP set per peer (a contiguous slice of
+  /// the peer's rail vector, wired lazily per (peer, vci)), a disjoint
+  /// sequence-space slice in the matcher, its own CQ-processing server
+  /// ("progress fiber") and its own control-message cursors.  `vci.threads`
+  /// modeled application threads per rank each run as a sim::Process fiber;
+  /// the mapping policy decides which VCI a thread's operations use.  The
+  /// default (count = 1, threads = 1) is bit-identical to the single-channel
+  /// substrate.
+  struct VciConfig {
+    int count = 1;    ///< VCIs per rank (1..kMaxVcis)
+    int threads = 1;  ///< modeled app threads per rank (>= 1)
+
+    /// Thread → VCI mapping.  RoundRobin: thread t drives VCI t % count
+    /// (dedicated channels when threads <= count — the scalable regime).
+    /// PerComm: operations map by communicator context, so each communicator
+    /// gets a VCI regardless of the issuing thread.  Shared: every thread
+    /// funnels through VCI 0 (the contended baseline that flatlines).
+    enum class Mapping : std::uint8_t { RoundRobin, PerComm, Shared };
+    Mapping mapping = Mapping::RoundRobin;
+
+    /// Cost of one VCI lock acquisition (CAS + fence), charged whenever
+    /// threads > 1 and a thread enters a VCI's critical section; contended
+    /// acquisitions additionally serialize behind the holder.
+    sim::Time lock_cpu = sim::nanoseconds(60);
+  };
+  VciConfig vci;
 
   // ---- switched fabric topology -------------------------------------------
   /// Shape, routing and contention model of the subnet (ib/topology.hpp).

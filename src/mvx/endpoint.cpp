@@ -27,6 +27,22 @@ Endpoint::Endpoint(sim::Simulator& sim, int rank, int node, std::vector<ib::Hca*
   fast_path_ = std::make_unique<FastPathChannel>(*this, *net_);
   rndv_ = std::make_unique<Rendezvous>(*this, *net_);
   coll_engine_ = std::make_unique<coll::CollEngine>(*this);
+
+  // VCI machinery and its gated vci.* counters exist only when enabled, so
+  // the default configuration allocates nothing and snapshots are unchanged.
+  if (cfg_.vci.count > 1 || cfg_.vci.threads > 1) {
+    for (int v = 1; v < cfg_.vci.count; ++v) {
+      vci_cpu_.push_back(std::make_unique<sim::Server>());
+    }
+    if (cfg_.vci.threads > 1) {
+      vci_locked_.assign(static_cast<std::size_t>(std::max(1, cfg_.vci.count)), 0);
+    }
+    for (int v = 0; v < std::max(1, cfg_.vci.count); ++v) {
+      vci_sends_.push_back(&tel_.counter("vci.sends.v" + std::to_string(v)));
+    }
+    vci_lock_contentions_ = &tel_.counter("vci.lock_contentions");
+    vci_wakeups_ = &tel_.counter("vci.progress_wakeups");
+  }
 }
 
 Endpoint::~Endpoint() = default;
@@ -45,6 +61,69 @@ void Endpoint::connect_shm(Endpoint& a, Endpoint& b) {
 void Endpoint::schedule_cpu(sim::Time cost, std::function<void()> fn) {
   auto r = cpu_.reserve(sim_.now(), sim_.now(), cost);
   sim_.at(r.finish, std::move(fn));
+}
+
+void Endpoint::schedule_cpu_vci(int vci, sim::Time cost, std::function<void()> fn) {
+  if (vci_wakeups_ != nullptr) vci_wakeups_->inc();
+  if (vci <= 0 || vci_cpu_.empty()) {
+    // VCI 0 (and every message in the default configuration) stays on the
+    // legacy serialized server — bit-identical single-channel timing.
+    schedule_cpu(cost, std::move(fn));
+    return;
+  }
+  sim::Server& srv = *vci_cpu_.at(static_cast<std::size_t>(vci) - 1);
+  auto r = srv.reserve(sim_.now(), sim_.now(), cost);
+  sim_.at(r.finish, std::move(fn));
+}
+
+void Endpoint::register_thread(sim::Process* p, int tid) {
+  if (tid >= static_cast<int>(thread_procs_.size())) {
+    thread_procs_.resize(static_cast<std::size_t>(tid) + 1, nullptr);
+  }
+  thread_procs_[static_cast<std::size_t>(tid)] = p;
+}
+
+int Endpoint::current_thread() const {
+  sim::Process* cur = sim::Process::current();
+  if (cur != nullptr) {
+    for (std::size_t i = 0; i < thread_procs_.size(); ++i) {
+      if (thread_procs_[i] == cur) return static_cast<int>(i);
+    }
+  }
+  return 0;
+}
+
+int Endpoint::vci_for(int ctx) const {
+  const int n = cfg_.vci.count;
+  if (n <= 1) return 0;
+  switch (cfg_.vci.mapping) {
+    case Config::VciConfig::Mapping::Shared:
+      return 0;
+    case Config::VciConfig::Mapping::PerComm:
+      // Each communicator owns two contexts (pt2pt = base, coll = base + 1);
+      // both map to the same VCI so one communicator is one channel.
+      return (ctx / 2) % n;
+    case Config::VciConfig::Mapping::RoundRobin:
+      break;
+  }
+  return current_thread() % n;
+}
+
+void Endpoint::lock_vci(int vci) {
+  if (vci_locked_.empty()) return;  // single-threaded rank: no lock modeled
+  std::uint8_t& held = vci_locked_.at(static_cast<std::size_t>(vci));
+  if (held != 0) {
+    if (vci_lock_contentions_ != nullptr) vci_lock_contentions_->inc();
+    process().wait_until(progress_, [&held] { return held == 0; });
+  }
+  held = 1;
+  process().compute(cfg_.vci.lock_cpu);
+}
+
+void Endpoint::unlock_vci(int vci) {
+  if (vci_locked_.empty()) return;
+  vci_locked_.at(static_cast<std::size_t>(vci)) = 0;
+  progress_.notify_all();
 }
 
 sim::Time Endpoint::memcpy_time(std::int64_t bytes) const {
@@ -66,6 +145,8 @@ Request Endpoint::start_send(CommKind kind, const void* buf, std::int64_t bytes,
   req->ctx = ctx;
   req->kind = static_cast<std::uint8_t>(kind);
   req->lane = lane;
+  req->vci = vci_for(ctx);
+  if (!vci_sends_.empty()) vci_sends_.at(static_cast<std::size_t>(req->vci))->inc();
 
   if (cfg_.lazy_connect && (!conn_->ready(dst) || conn_->has_queued(dst))) {
     // First contact (or a flush still in progress, which queued sends must
@@ -76,6 +157,10 @@ Request Endpoint::start_send(CommKind kind, const void* buf, std::int64_t bytes,
     return req;
   }
 
+  // The issue path below is one VCI's critical section: threads sharing a
+  // VCI serialize here (lock + serialized doorbells), threads on dedicated
+  // VCIs proceed independently.  No-op in single-threaded ranks.
+  lock_vci(req->vci);
   // Route to the highest-priority channel that accepts the message; the net
   // channel splits at the rendezvous threshold between the eager protocol
   // and the RTS/CTS/FIN state machine.
@@ -90,9 +175,11 @@ Request Endpoint::start_send(CommKind kind, const void* buf, std::int64_t bytes,
       rndv_->send_rts(dst, kind, buf, bytes, tag, ctx, req);
     }
   } else {
+    unlock_vci(req->vci);
     throw std::logic_error("Endpoint " + std::to_string(rank_) + ": no connection to rank " +
                            std::to_string(dst));
   }
+  unlock_vci(req->vci);
   return req;
 }
 
@@ -112,6 +199,11 @@ Request Endpoint::start_recv(void* buf, std::int64_t capacity, int src, int tag,
     conn_->initiate(src);
   }
 
+  // The receive issue path shares the issuing thread's VCI critical section
+  // (the matcher and posted queues are rank-wide structures an MPI library
+  // guards in its per-VCI critical sections).  No-op when single-threaded.
+  const int issue_vci = vci_for(ctx);
+  lock_vci(issue_vci);
   // Unexpected-queue scan first (arrival order).
   if (auto msg = matcher_->claim_unexpected(src, tag, ctx)) {
     const MsgHeader& hdr = msg->hdr;
@@ -131,10 +223,12 @@ Request Endpoint::start_recv(void* buf, std::int64_t capacity, int src, int tag,
       process().compute(cfg_.match_cpu);
       rndv_->accept(hdr, req);
     }
+    unlock_vci(issue_vci);
     return req;
   }
 
   matcher_->post(req, src, tag, ctx);
+  unlock_vci(issue_vci);
   return req;
 }
 
@@ -171,7 +265,7 @@ void Endpoint::ingress(int peer, const MsgHeader& hdr, std::vector<std::byte> pa
         throw std::runtime_error("recv: message truncation (rendezvous)");
       }
       const MsgHeader rts = m.hdr;
-      schedule_cpu(cfg_.match_cpu, [this, rts, req] { rndv_->accept(rts, req); });
+      schedule_cpu_vci(rts.vci, cfg_.match_cpu, [this, rts, req] { rndv_->accept(rts, req); });
     }
   }
 }
@@ -179,7 +273,7 @@ void Endpoint::ingress(int peer, const MsgHeader& hdr, std::vector<std::byte> pa
 void Endpoint::on_ctl(const MsgHeader& hdr, const CtsRkeys& rkeys) {
   if (hdr.type == MsgType::Cts) {
     // CTS handling consumes host CPU before the stripes are posted.
-    schedule_cpu(cfg_.ctl_cpu, [this, hdr, rkeys] { rndv_->on_cts(hdr, rkeys); });
+    schedule_cpu_vci(hdr.vci, cfg_.ctl_cpu, [this, hdr, rkeys] { rndv_->on_cts(hdr, rkeys); });
   } else {  // Fin
     rndv_->on_fin(hdr);
   }
@@ -233,8 +327,8 @@ void Endpoint::complete_recv(const Request& req, const MsgHeader& hdr, const std
                              sim::Time extra_delay) {
   if (hdr.size > 0) std::memcpy(req->recv_buf, payload, hdr.size);
   req->status = {hdr.src_rank, hdr.tag, static_cast<std::int64_t>(hdr.size)};
-  // The copy out of the bounce buffer runs on this rank's CPU.
-  schedule_cpu(extra_delay, [this, req] { complete_request(req); });
+  // The copy out of the bounce buffer runs on the message's VCI progress CPU.
+  schedule_cpu_vci(hdr.vci, extra_delay, [this, req] { complete_request(req); });
 }
 
 }  // namespace ib12x::mvx

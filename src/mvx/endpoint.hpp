@@ -47,6 +47,7 @@ class CollEngine;
 }
 
 class ConnManager;
+class Counter;
 class FastPathChannel;
 class Matcher;
 class NetChannel;
@@ -76,6 +77,20 @@ class Endpoint final : public ChannelHost {
 
   /// Binds the simulated process that runs this rank's code.
   void attach_process(sim::Process* p) { proc_ = p; }
+
+  /// Registers one modeled application thread's fiber (vci.threads > 1).
+  /// Thread 0 is the rank's main fiber; every registered fiber may issue
+  /// sends/recvs concurrently and is mapped to a VCI by vci_for().
+  void register_thread(sim::Process* p, int tid);
+
+  /// Index of the modeled app thread running right now (0 when the current
+  /// fiber is not a registered app thread — e.g. the collective-progress
+  /// helper, or any fiber in the default single-threaded configuration).
+  [[nodiscard]] int current_thread() const;
+
+  /// The VCI carrying an operation issued from the current thread on
+  /// communicator context `ctx`, per the configured thread → VCI mapping.
+  [[nodiscard]] int vci_for(int ctx) const;
 
   // ---- process-context API (called by Communicator) ----
 
@@ -115,6 +130,7 @@ class Endpoint final : public ChannelHost {
   TelemetryRegistry& telemetry() override { return tel_; }
   sim::Waitable& progress() override { return progress_; }
   void schedule_cpu(sim::Time cost, std::function<void()> fn) override;
+  void schedule_cpu_vci(int vci, sim::Time cost, std::function<void()> fn) override;
   [[nodiscard]] sim::Time memcpy_time(std::int64_t bytes) const override;
   void ingress(int peer, const MsgHeader& hdr, std::vector<std::byte> payload) override;
   void on_ctl(const MsgHeader& hdr, const CtsRkeys& rkeys) override;
@@ -129,9 +145,16 @@ class Endpoint final : public ChannelHost {
   /// resources (a later CQE re-flushes).
   void flush_queued(int peer);
   /// Matched eager arrival: copy out, then complete after the copy's CPU
-  /// time has been charged.
+  /// time has been charged (on the message's VCI progress server).
   void complete_recv(const Request& req, const MsgHeader& hdr, const std::byte* payload,
                      sim::Time extra_delay);
+
+  /// Fiber-level VCI critical section, modeled only when vci.threads > 1:
+  /// a thread entering a VCI's issue path acquires the VCI's lock (charging
+  /// vci.lock_cpu) and contended acquisitions serialize behind the holder —
+  /// the Zambre shared-VCI flatline.  No-ops in single-threaded ranks.
+  void lock_vci(int vci);
+  void unlock_vci(int vci);
 
   sim::Simulator& sim_;
   int rank_;
@@ -150,6 +173,20 @@ class Endpoint final : public ChannelHost {
 
   sim::Server cpu_;  ///< serialized host-CPU time for event-context protocol work
   sim::Waitable progress_;
+
+  // ---- VCI state (all empty/null in the default configuration) ----
+  /// Dedicated progress servers of VCIs 1.. (VCI 0 keeps the legacy cpu_
+  /// server, so single-VCI timing is bit-identical); each serializes its own
+  /// VCI's event-context protocol work and runs in parallel with the others.
+  std::vector<std::unique_ptr<sim::Server>> vci_cpu_;
+  /// Registered app-thread fibers, indexed by thread id.
+  std::vector<sim::Process*> thread_procs_;
+  /// Per-VCI lock word (allocated only when vci.threads > 1).
+  std::vector<std::uint8_t> vci_locked_;
+  /// Gated vci.* counters — null/empty by default so snapshots are unchanged.
+  std::vector<Counter*> vci_sends_;
+  Counter* vci_lock_contentions_ = nullptr;
+  Counter* vci_wakeups_ = nullptr;
 };
 
 }  // namespace ib12x::mvx

@@ -60,7 +60,9 @@ void FastPathChannel::send(int peer, CommKind kind, const void* buf, std::int64_
   hdr.src_rank = host_.rank();
   hdr.tag = tag;
   hdr.ctx = ctx;
-  hdr.seq = host_.matcher().next_send_seq(peer, ctx);
+  // The fast path is mutually exclusive with VCIs (enforced by World's config
+  // validation), so its traffic always rides sequence space 0.
+  hdr.seq = host_.matcher().next_send_seq(peer, ctx, 0);
   hdr.size = static_cast<std::uint64_t>(bytes);
 
   std::byte* stage = c.send_stage.data() + static_cast<std::size_t>(slot) * c.slot_bytes;
@@ -102,8 +104,8 @@ void FastPathChannel::send_evt(int peer, CommKind kind, const void* buf, std::in
   hdr.tag = tag;
   hdr.ctx = ctx;
   // Claimed at dispatch so a flushed queue keeps MPI ordering (see
-  // NetChannel::try_send).
-  hdr.seq = host_.matcher().next_send_seq(peer, ctx);
+  // NetChannel::try_send).  Fast path is VCI-exclusive: sequence space 0.
+  hdr.seq = host_.matcher().next_send_seq(peer, ctx, 0);
   hdr.size = static_cast<std::uint64_t>(bytes);
 
   std::byte* stage = c.send_stage.data() + static_cast<std::size_t>(slot) * c.slot_bytes;

@@ -11,16 +11,17 @@ Matcher::Matcher(TelemetryRegistry& tel)
       matched_ctr_(tel.counter("matcher.matched")),
       dup_dropped_(tel.counter("fault.dup_dropped")) {}
 
-std::uint32_t Matcher::next_send_seq(int peer, int ctx) {
-  return send_seq_[{peer, ctx}]++;
+std::uint32_t Matcher::next_send_seq(int peer, int ctx, int vci) {
+  return send_seq_[{peer, ctx, vci}]++;
 }
 
 std::vector<Matcher::Inbound> Matcher::sequence(int peer, const MsgHeader& hdr,
                                                 std::vector<std::byte> payload) {
   std::vector<Inbound> ready;
-  std::uint32_t& next = next_seq_[{peer, hdr.ctx}];
+  const int vci = hdr.vci;
+  std::uint32_t& next = next_seq_[{peer, hdr.ctx, vci}];
   if (hdr.seq < next ||
-      (hdr.seq != next && reorder_.count({peer, hdr.ctx, hdr.seq}) != 0)) {
+      (hdr.seq != next && reorder_.count({peer, hdr.ctx, vci, hdr.seq}) != 0)) {
     // Duplicate delivery: a fault-injection replay of a message whose first
     // copy arrived but whose sender-side CQE reported an error.  Unreachable
     // without fault injection (every seq is delivered exactly once).
@@ -30,7 +31,7 @@ std::vector<Matcher::Inbound> Matcher::sequence(int peer, const MsgHeader& hdr,
   if (hdr.seq != next) {
     // Arrived ahead of order (multi-rail round robin / striping race): park
     // until the gap closes.
-    reorder_.emplace(std::make_tuple(peer, hdr.ctx, hdr.seq),
+    reorder_.emplace(std::make_tuple(peer, hdr.ctx, vci, hdr.seq),
                      Inbound{hdr, std::move(payload)});
     reorder_parked_ctr_.inc();
     reorder_depth_peak_.track_max(reorder_.size());
@@ -39,8 +40,8 @@ std::vector<Matcher::Inbound> Matcher::sequence(int peer, const MsgHeader& hdr,
   ++next;
   ready.push_back(Inbound{hdr, std::move(payload)});
   // Drain any now-contiguous parked messages.
-  for (auto it = reorder_.find({peer, hdr.ctx, next}); it != reorder_.end();
-       it = reorder_.find({peer, hdr.ctx, next})) {
+  for (auto it = reorder_.find({peer, hdr.ctx, vci, next}); it != reorder_.end();
+       it = reorder_.find({peer, hdr.ctx, vci, next})) {
     ready.push_back(std::move(it->second));
     reorder_.erase(it);
     ++next;

@@ -2,9 +2,11 @@
 // matching" box plus the ordering restoration the multi-rail design needs).
 //
 // The matcher owns three data structures:
-//   * per-(peer, ctx) sequence counters — send-side allocation and
+//   * per-(peer, ctx, vci) sequence counters — send-side allocation and
 //     receive-side reordering, so MPI ordering survives round-robin and
-//     striped schedules that race messages across rails;
+//     striped schedules that race messages across rails.  Each VCI is an
+//     independent sequence space: ordering (and the fault-replay dedup key)
+//     is only promised within one VCI, never across VCIs;
 //   * the posted-receive queue, scanned in post order with MPI wildcard
 //     (ANY_SOURCE / ANY_TAG) semantics;
 //   * the unexpected queue, scanned in arrival order by receives and probes.
@@ -41,10 +43,10 @@ class Matcher {
 
   // ---- sender side ----
 
-  /// Allocates the next wire sequence number for (peer, ctx).
-  std::uint32_t next_send_seq(int peer, int ctx);
+  /// Allocates the next wire sequence number for (peer, ctx, vci).
+  std::uint32_t next_send_seq(int peer, int ctx, int vci);
 
-  // ---- receive side, step 1: per-(peer, ctx) ordering ----
+  // ---- receive side, step 1: per-(peer, ctx, vci) ordering ----
 
   /// Admits one arrival.  Returns the messages that are now deliverable in
   /// order: empty if `hdr.seq` is ahead of its turn (the message is parked
@@ -87,10 +89,13 @@ class Matcher {
 
   static bool header_matches(const MsgHeader& hdr, int src, int tag, int ctx);
 
-  using PairCtx = std::pair<int, int>;                    // (peer, ctx)
-  std::map<PairCtx, std::uint32_t> send_seq_;
-  std::map<PairCtx, std::uint32_t> next_seq_;             // receive side
-  std::map<std::tuple<int, int, std::uint32_t>, Inbound> reorder_;  // (peer, ctx, seq)
+  // Sequence counters and the reorder park are keyed by (peer, ctx, vci):
+  // every VCI is its own ordered stream, so a replayed (peer, seq) pair from
+  // one VCI can never alias a live message on another.
+  using SeqKey = std::tuple<int, int, int>;               // (peer, ctx, vci)
+  std::map<SeqKey, std::uint32_t> send_seq_;
+  std::map<SeqKey, std::uint32_t> next_seq_;              // receive side
+  std::map<std::tuple<int, int, int, std::uint32_t>, Inbound> reorder_;  // (peer, ctx, vci, seq)
 
   std::vector<PostedRecv> posted_;
   std::list<Inbound> unexpected_;

@@ -31,6 +31,12 @@ NetChannel::NetChannel(ChannelHost& host, std::vector<ib::Hca*> hcas)
   if (static_cast<int>(hcas_.size()) > kMaxHcas) {
     throw std::invalid_argument("NetChannel: too many HCAs per node");
   }
+  // vci.* counters exist only when the VCI machinery is enabled, so the
+  // default configuration's telemetry snapshot is unchanged.
+  const Config& cfg = host.config();
+  if (cfg.vci.count > 1 || cfg.vci.threads > 1) {
+    vci_credit_split_ = &host.telemetry().counter("vci.credit_split");
+  }
   scq_.set_callback([this](const ib::Wc& wc) { on_send_cqe(wc); });
   rcq_.set_callback([this](const ib::Wc& wc) { on_recv_cqe(wc); });
 }
@@ -43,6 +49,9 @@ void NetChannel::ensure_net_resources() {
   if (resources_ready_) return;
   resources_ready_ = true;
   const Config& cfg = host_.config();
+  if (vci_credit_split_ != nullptr) {
+    vci_credit_split_->track_max(static_cast<std::uint64_t>(rail_credits()));
+  }
   const std::size_t slot_bytes = kHeaderBytes + static_cast<std::size_t>(cfg.rndv_threshold);
 
   // Sender-side eager bounce pool, registered in every local HCA domain.
@@ -89,13 +98,31 @@ void NetChannel::ensure_net_resources() {
   }
 }
 
+RailCursor& NetChannel::lane_cursor(Peer& c, int vci) {
+  return vci == 0 ? c.cursor : c.ext.at(static_cast<std::size_t>(vci) - 1).cursor;
+}
+
+RailCursor& NetChannel::lane_ctl(Peer& c, int vci) {
+  return vci == 0 ? c.ctl : c.ext.at(static_cast<std::size_t>(vci) - 1).ctl;
+}
+
+std::deque<std::pair<MsgHeader, CtsRkeys>>& NetChannel::lane_pending(Peer& c, int vci) {
+  return vci == 0 ? c.pending_ctl : c.ext.at(static_cast<std::size_t>(vci) - 1).pending_ctl;
+}
+
 int NetChannel::rail_credits() const {
   const Config& cfg = host_.config();
-  if (!cfg.use_srq) return cfg.eager_credits;
+  // With several VCIs the credit budget splits evenly over the VCI groups:
+  // each group's rails get their share of the per-QP credits (per-QP RQ
+  // mode) or of the shared SRQ arena (the pool stays one per HCA, only the
+  // sender-side credit derivation divides).  The World constructor rejects
+  // splits that would round to zero.
+  if (!cfg.use_srq) return cfg.eager_credits / std::max(1, cfg.vci.count);
   // Re-derive per-rail credits from the shared pool so one peer's rails can
   // never oversubscribe the arena on their own; concurrent senders beyond
   // that are absorbed by RNR backpressure (stall + replenish), not errors.
-  const int per_rail = std::max(1, cfg.srq_pool_slots) / std::max(1, cfg.rails());
+  const int per_rail =
+      std::max(1, cfg.srq_pool_slots) / std::max(1, cfg.rails() * std::max(1, cfg.vci.count));
   return std::min(cfg.eager_credits, std::max(1, per_rail));
 }
 
@@ -125,7 +152,7 @@ void NetChannel::prepost_rail(ib::QueuePair& qp, int hca_index, int peer_rank) {
   const Config& cfg = host_.config();
   if (cfg.use_srq) return;  // pooled slots were preposted once per HCA
   const std::size_t slot_bytes = kHeaderBytes + static_cast<std::size_t>(cfg.rndv_threshold);
-  for (int i = 0; i < cfg.eager_credits; ++i) {
+  for (int i = 0; i < rail_credits(); ++i) {
     auto slot = std::make_unique<RecvSlot>();
     slot->buf.resize(slot_bytes);
     slot->data = slot->buf.data();
@@ -149,6 +176,31 @@ void NetChannel::establish(NetChannel& a, NetChannel& b) {
   const Config& cfg = a.host_.config();
   a.open_to(b.host_.rank());
   b.open_to(a.host_.rank());
+  a.peers_.at(b.host_.rank()).remote = &b;
+  b.peers_.at(a.host_.rank()).remote = &a;
+  // VCI group 0 always wires with the connection; with lazy_connect the
+  // remaining groups wire on first use (ensure_vci).  Eager wiring — which
+  // sharded runs require — brings up every group here, single-threaded.
+  const int groups = cfg.lazy_connect ? 1 : std::max(1, cfg.vci.count);
+  for (int v = 0; v < groups; ++v) wire_vci_group(a, b);
+}
+
+void NetChannel::ensure_vci(int peer_rank, int vci) {
+  Peer& c = peer(peer_rank);
+  while (c.wired_vcis <= vci) wire_vci_group(*this, *c.remote);
+}
+
+void NetChannel::wire_vci_group(NetChannel& a, NetChannel& b) {
+  const Config& cfg = a.host_.config();
+  Peer& pa = a.peers_.at(b.host_.rank());
+  Peer& pb = b.peers_.at(a.host_.rank());
+  if (pa.wired_vcis >= 1) {
+    // Lane state for the new VCI (group 0 lives in the Peer's own members).
+    pa.ext.emplace_back();
+    pb.ext.emplace_back();
+  }
+  ++pa.wired_vcis;
+  ++pb.wired_vcis;
   ib::FaultPlan* plan = a.fault_enabled_ ? a.hcas_.front()->fabric().fault_plan() : nullptr;
 
   for (int h = 0; h < cfg.hcas_per_node; ++h) {
@@ -199,52 +251,73 @@ bool NetChannel::accepts(int peer_rank, std::int64_t /*bytes*/) const {
 }
 
 int NetChannel::nrails(int peer_rank) const {
-  return static_cast<int>(peer(peer_rank).rails.size());
+  peer(peer_rank);  // preserve the no-connection diagnostic
+  return host_.config().rails();
 }
 
-RailCursor& NetChannel::cursor(int peer_rank) { return peer(peer_rank).cursor; }
+RailCursor& NetChannel::cursor(int peer_rank, int vci) {
+  ensure_vci(peer_rank, vci);
+  return lane_cursor(peer(peer_rank), vci);
+}
 
-RailCursor& NetChannel::ctl_cursor(int peer_rank) { return peer(peer_rank).ctl; }
+RailCursor& NetChannel::ctl_cursor(int peer_rank, int vci) {
+  ensure_vci(peer_rank, vci);
+  return lane_ctl(peer(peer_rank), vci);
+}
 
-std::vector<std::int64_t> NetChannel::rail_outstanding(int peer_rank) const {
+std::vector<std::int64_t> NetChannel::rail_outstanding(int peer_rank, int vci) const {
   const Peer& c = peer(peer_rank);
+  const int n = host_.config().rails();
+  const std::size_t base = static_cast<std::size_t>(vci) * static_cast<std::size_t>(n);
   std::vector<std::int64_t> out;
-  out.reserve(c.rails.size());
-  for (const Rail& r : c.rails) out.push_back(r.outstanding);
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(c.rails.at(base + static_cast<std::size_t>(i)).outstanding);
   return out;
 }
 
-std::vector<std::uint8_t> NetChannel::rail_up(int peer_rank) const {
+std::vector<std::uint8_t> NetChannel::rail_up(int peer_rank, int vci) const {
   const Peer& c = peer(peer_rank);
+  const int n = host_.config().rails();
+  const std::size_t base = static_cast<std::size_t>(vci) * static_cast<std::size_t>(n);
   std::vector<std::uint8_t> out;
-  out.reserve(c.rails.size());
-  for (const Rail& r : c.rails) out.push_back(r.up ? 1 : 0);
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(c.rails.at(base + static_cast<std::size_t>(i)).up ? 1 : 0);
+  }
   return out;
 }
 
-std::vector<int> NetChannel::live_rails(int peer_rank) const {
+std::vector<int> NetChannel::live_rails(int peer_rank, int vci) const {
   const Peer& c = peer(peer_rank);
+  const int n = host_.config().rails();
+  const int base = vci * n;
   std::vector<int> out;
-  for (int i = 0; i < static_cast<int>(c.rails.size()); ++i) {
+  for (int i = base; i < base + n; ++i) {
     if (c.rails[static_cast<std::size_t>(i)].up) out.push_back(i);
   }
   return out;
 }
 
 int NetChannel::remap_live(const Peer& c, int rail) const {
-  const int n = static_cast<int>(c.rails.size());
+  // Failover remaps only within the rail's own VCI slice: rails of other
+  // VCIs are other channels' resources (and at vci.count = 1 the slice is
+  // the whole vector, reproducing the legacy wrap exactly).
+  const int n = host_.config().rails();
+  const int base = (rail / n) * n;
   for (int i = 0; i < n; ++i) {
-    const int cand = (rail + i) % n;
+    const int cand = base + (rail - base + i) % n;
     if (c.rails[static_cast<std::size_t>(cand)].up) return cand;
   }
   return rail;
 }
 
-void NetChannel::wait_any_rail_up(int peer_rank) {
+void NetChannel::wait_any_rail_up(int peer_rank, int vci) {
   Peer& c = peer(peer_rank);
-  host_.process().wait_until(host_.progress(), [&c] {
-    for (const Rail& r : c.rails) {
-      if (r.up) return true;
+  const int n = host_.config().rails();
+  const std::size_t base = static_cast<std::size_t>(vci) * static_cast<std::size_t>(n);
+  host_.process().wait_until(host_.progress(), [&c, base, n] {
+    for (int i = 0; i < n; ++i) {
+      if (c.rails[base + static_cast<std::size_t>(i)].up) return true;
     }
     return false;
   });
@@ -287,28 +360,33 @@ void NetChannel::post_eager(Peer& c, int peer_rank, int rail, int bounce, const 
 
 void NetChannel::send(int peer_rank, CommKind kind, const void* buf, std::int64_t bytes, int tag,
                       int ctx, const Request& req) {
+  const int vci = req->vci;
+  ensure_vci(peer_rank, vci);
   Peer& c = peer(peer_rank);
   const Config& cfg = host_.config();
+  const int width = cfg.rails();  // rails per VCI: the schedulable slice
+  const int base = vci * width;
   int rail;
   if (req->lane >= 0) {
     // Multi-lane collective transfer: pinned to its lane's rail, bypassing
     // the policy (and leaving the policy's cursor undisturbed).
-    rail = req->lane % static_cast<int>(c.rails.size());
+    rail = base + req->lane % width;
   } else {
-    Schedule s = choose_schedule(cfg.policy, kind, bytes, static_cast<int>(c.rails.size()),
-                                 cfg.stripe_threshold, c.cursor);
-    rail = s.stripe ? 0 : s.rail;  // eager never stripes
+    Schedule s = choose_schedule(cfg.policy, kind, bytes, width, cfg.stripe_threshold,
+                                 lane_cursor(c, vci));
+    rail = base + (s.stripe ? 0 : s.rail);  // eager never stripes
     if (cfg.policy == Policy::Adaptive) {
-      rail = fault_enabled_
-                 ? least_loaded_rail(rail_outstanding(peer_rank), rail_up(peer_rank))
-                 : least_loaded_rail(rail_outstanding(peer_rank));
+      rail = base + (fault_enabled_
+                         ? least_loaded_rail(rail_outstanding(peer_rank, vci),
+                                             rail_up(peer_rank, vci))
+                         : least_loaded_rail(rail_outstanding(peer_rank, vci)));
     }
   }
   if (fault_enabled_) {
     // Failover: never start an eager send on a rail known to be down.  The
     // schedule above keeps its cursor arithmetic (so fault-free behaviour is
     // untouched); the dead-rail remap happens after the fact.
-    wait_any_rail_up(peer_rank);
+    wait_any_rail_up(peer_rank, vci);
     rail = remap_live(c, rail);
   }
 
@@ -319,10 +397,11 @@ void NetChannel::send(int peer_rank, CommKind kind, const void* buf, std::int64_
   MsgHeader hdr;
   hdr.type = MsgType::Eager;
   hdr.kind = static_cast<std::uint8_t>(kind);
+  hdr.vci = static_cast<std::uint8_t>(vci);
   hdr.src_rank = host_.rank();
   hdr.tag = tag;
   hdr.ctx = ctx;
-  hdr.seq = host_.matcher().next_send_seq(peer_rank, ctx);
+  hdr.seq = host_.matcher().next_send_seq(peer_rank, ctx, vci);
   hdr.size = static_cast<std::uint64_t>(bytes);
   post_eager(c, peer_rank, rail, bounce, hdr, buf, bytes);
 
@@ -339,27 +418,34 @@ bool NetChannel::try_send(int peer_rank, CommKind kind, const void* buf, std::in
   // Event-context twin of send(): used to flush sends queued behind a lazy
   // handshake.  It must not block, so instead of waiting on credits it
   // reports failure and leaves the message queued (a later CQE re-flushes).
+  const int vci = req->vci;
+  ensure_vci(peer_rank, vci);
   Peer& c = peer(peer_rank);
   const Config& cfg = host_.config();
-  const RailCursor saved = c.cursor;
+  const int width = cfg.rails();
+  const int base = vci * width;
+  RailCursor& cur = lane_cursor(c, vci);
+  const RailCursor saved = cur;
   int rail;
   if (req->lane >= 0) {
-    rail = req->lane % static_cast<int>(c.rails.size());
+    rail = base + req->lane % width;
   } else {
-    Schedule s = choose_schedule(cfg.policy, kind, bytes, static_cast<int>(c.rails.size()),
-                                 cfg.stripe_threshold, c.cursor);
-    rail = s.stripe ? 0 : s.rail;  // eager never stripes
+    Schedule s = choose_schedule(cfg.policy, kind, bytes, width, cfg.stripe_threshold, cur);
+    rail = base + (s.stripe ? 0 : s.rail);  // eager never stripes
     if (cfg.policy == Policy::Adaptive) {
-      rail = fault_enabled_
-                 ? least_loaded_rail(rail_outstanding(peer_rank), rail_up(peer_rank))
-                 : least_loaded_rail(rail_outstanding(peer_rank));
+      rail = base + (fault_enabled_
+                         ? least_loaded_rail(rail_outstanding(peer_rank, vci),
+                                             rail_up(peer_rank, vci))
+                         : least_loaded_rail(rail_outstanding(peer_rank, vci)));
     }
   }
   if (fault_enabled_) {
     bool any_up = false;
-    for (const Rail& r : c.rails) any_up = any_up || r.up;
+    for (int i = base; i < base + width; ++i) {
+      any_up = any_up || c.rails[static_cast<std::size_t>(i)].up;
+    }
     if (!any_up) {
-      c.cursor = saved;
+      cur = saved;
       return false;
     }
     rail = remap_live(c, rail);
@@ -367,7 +453,7 @@ bool NetChannel::try_send(int peer_rank, CommKind kind, const void* buf, std::in
   Rail& r = c.rails.at(static_cast<std::size_t>(rail));
   if (r.credits <= 0 || free_bounce_.empty()) {
     credit_stalls_.inc();
-    c.cursor = saved;
+    cur = saved;
     return false;
   }
   --r.credits;
@@ -377,16 +463,17 @@ bool NetChannel::try_send(int peer_rank, CommKind kind, const void* buf, std::in
   MsgHeader hdr;
   hdr.type = MsgType::Eager;
   hdr.kind = static_cast<std::uint8_t>(kind);
+  hdr.vci = static_cast<std::uint8_t>(vci);
   hdr.src_rank = host_.rank();
   hdr.tag = tag;
   hdr.ctx = ctx;
   // Sequence numbers are claimed here, at dispatch, so queued sends to one
   // peer keep MPI ordering no matter when their CPU events run.
-  hdr.seq = host_.matcher().next_send_seq(peer_rank, ctx);
+  hdr.seq = host_.matcher().next_send_seq(peer_rank, ctx, vci);
   hdr.size = static_cast<std::uint64_t>(bytes);
 
-  host_.schedule_cpu(
-      cfg.post_cpu + host_.memcpy_time(static_cast<std::int64_t>(kHeaderBytes) + bytes),
+  host_.schedule_cpu_vci(
+      vci, cfg.post_cpu + host_.memcpy_time(static_cast<std::int64_t>(kHeaderBytes) + bytes),
       [this, peer_rank, rail, bounce, hdr, buf, bytes, req] {
         post_eager(peer(peer_rank), peer_rank, rail, bounce, hdr, buf, bytes);
         eager_sent_.inc();
@@ -399,9 +486,10 @@ bool NetChannel::try_send(int peer_rank, CommKind kind, const void* buf, std::in
 // ---------------------------------------------------------------- controls
 
 void NetChannel::send_ctl_blocking(int peer_rank, int rail, const MsgHeader& hdr) {
+  ensure_vci(peer_rank, hdr.vci);
   Peer& c = peer(peer_rank);
   if (fault_enabled_) {
-    wait_any_rail_up(peer_rank);
+    wait_any_rail_up(peer_rank, hdr.vci);
     rail = remap_live(c, rail);
   }
   int bounce = acquire_bounce_and_credit(c, rail);
@@ -431,23 +519,26 @@ void NetChannel::post_ctl_evt(int peer_rank, int rail, const MsgHeader& hdr) {
   --c.rails.at(static_cast<std::size_t>(rail)).credits;
   const int bounce = free_bounce_.back();
   free_bounce_.pop_back();
-  host_.schedule_cpu(host_.config().post_cpu, [this, peer_rank, rail, bounce, hdr] {
+  host_.schedule_cpu_vci(hdr.vci, host_.config().post_cpu, [this, peer_rank, rail, bounce, hdr] {
     post_eager(peer(peer_rank), peer_rank, rail, bounce, hdr, nullptr, 0);
   });
 }
 
 void NetChannel::send_ctl(int peer_rank, const MsgHeader& hdr, const CtsRkeys& rkeys) {
+  const int vci = hdr.vci;
+  ensure_vci(peer_rank, vci);
   Peer& c = peer(peer_rank);
-  // Pick the first rail (starting at the cursor) with a credit.  In pipeline
-  // mode control traffic rotates its own cursor; the legacy protocol scans
-  // from the data cursor without advancing it (historical placement, kept
-  // for bit-identical legacy figures).
+  // Pick the first rail of the message's VCI slice (starting at the lane's
+  // cursor) with a credit.  In pipeline mode control traffic rotates its own
+  // cursor; the legacy protocol scans from the data cursor without advancing
+  // it (historical placement, kept for bit-identical legacy figures).
   const bool own_cursor = host_.config().rndv_pipeline;
-  const int n = static_cast<int>(c.rails.size());
-  const int start = own_cursor ? c.ctl.next : c.cursor.next;
+  const int n = host_.config().rails();
+  const int base = vci * n;
+  const int start = own_cursor ? lane_ctl(c, vci).next : lane_cursor(c, vci).next;
   int rail = -1;
   for (int i = 0; i < n; ++i) {
-    int cand = (start + i) % n;
+    int cand = base + (start + i) % n;
     if (c.rails[static_cast<std::size_t>(cand)].credits > 0 &&
         (!fault_enabled_ || c.rails[static_cast<std::size_t>(cand)].up)) {
       rail = cand;
@@ -455,10 +546,10 @@ void NetChannel::send_ctl(int peer_rank, const MsgHeader& hdr, const CtsRkeys& r
     }
   }
   if (rail < 0 || free_bounce_.empty()) {
-    c.pending_ctl.emplace_back(hdr, rkeys);
+    lane_pending(c, vci).emplace_back(hdr, rkeys);
     return;
   }
-  if (own_cursor) c.ctl.next = (rail + 1) % n;
+  if (own_cursor) lane_ctl(c, vci).next = (rail - base + 1) % n;
   --c.rails.at(static_cast<std::size_t>(rail)).credits;  // reserve
   int bounce = free_bounce_.back();
   free_bounce_.pop_back();
@@ -469,12 +560,15 @@ void NetChannel::send_ctl(int peer_rank, const MsgHeader& hdr, const CtsRkeys& r
 
 void NetChannel::flush_pending_ctl(int peer_rank) {
   Peer& c = peer(peer_rank);
-  while (!c.pending_ctl.empty()) {
-    auto [hdr, rkeys] = c.pending_ctl.front();
-    const std::size_t before = c.pending_ctl.size();
-    c.pending_ctl.pop_front();
-    send_ctl(peer_rank, hdr, rkeys);
-    if (c.pending_ctl.size() >= before) return;  // still stuck
+  for (int vci = 0; vci < std::max(1, c.wired_vcis); ++vci) {
+    auto& pending = lane_pending(c, vci);
+    while (!pending.empty()) {
+      auto [hdr, rkeys] = pending.front();
+      const std::size_t before = pending.size();
+      pending.pop_front();
+      send_ctl(peer_rank, hdr, rkeys);
+      if (pending.size() >= before) break;  // this lane is still stuck
+    }
   }
 }
 
@@ -548,9 +642,12 @@ void NetChannel::on_send_cqe(const ib::Wc& wc) {
   // bool would heap-allocate on every CQE of the fault-free path.
   if (wc.status != ib::WcStatus::Success) failed_send_.insert(sctx);
   // Polling and processing a completion costs host CPU, serialized with all
-  // other protocol work of this rank — per-stripe CQEs are a real per-stripe
-  // tax ("receipt of multiple acknowledgments", paper §4.3).
-  host_.schedule_cpu(host_.config().cqe_sw, [this, sctx] {
+  // other protocol work of this VCI — per-stripe CQEs are a real per-stripe
+  // tax ("receipt of multiple acknowledgments", paper §4.3).  The rail index
+  // identifies the owning VCI (rails are VCI-major), so each VCI's CQ slice
+  // is polled and processed by its own progress server.
+  host_.schedule_cpu_vci(sctx->rail / host_.config().rails(), host_.config().cqe_sw,
+                         [this, sctx] {
     const bool failed = fault_enabled_ && failed_send_.erase(sctx) != 0;
     Peer& c = peer(sctx->peer);
     c.rails.at(static_cast<std::size_t>(sctx->rail)).outstanding -= sctx->bytes;

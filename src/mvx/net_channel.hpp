@@ -40,6 +40,18 @@ class NetChannel final : public Channel {
   void open_to(int peer);
   static void establish(NetChannel& a, NetChannel& b);
 
+  /// Wires one more VCI's QP group between two established sides: the next
+  /// hcas × ports × qps rail block is appended to each side's flat rail
+  /// vector, so VCI v owns the contiguous slice [v·rails(), (v+1)·rails()).
+  /// establish() wires group 0 (and, when lazy_connect is off — which
+  /// sharded runs require — every group); ensure_vci wires the rest on
+  /// first use.
+  static void wire_vci_group(NetChannel& a, NetChannel& b);
+
+  /// Lazily wires every VCI QP group up to and including `vci` towards
+  /// `peer` (symmetrically, on both sides).  No-op for already-wired groups.
+  void ensure_vci(int peer, int vci);
+
   [[nodiscard]] bool accepts(int peer, std::int64_t bytes) const override;
 
   /// Eager send (bytes < rndv_threshold); larger messages go through the
@@ -72,19 +84,26 @@ class NetChannel final : public Channel {
   /// `rail`, charges post_cpu, then posts the header-only message.
   void send_ctl_blocking(int peer, int rail, const MsgHeader& hdr);
 
+  /// Rails per VCI (the schedulable width one message sees); the flat rail
+  /// vector holds wired_vcis × nrails entries.
   [[nodiscard]] int nrails(int peer) const;
-  [[nodiscard]] RailCursor& cursor(int peer);
+  /// Data cursor of one VCI's rail slice (local indices 0..nrails-1); wires
+  /// the VCI's QP group on first use.
+  [[nodiscard]] RailCursor& cursor(int peer, int vci);
   /// Dedicated round-robin cursor for control traffic (RTS/CTS/FIN) so it
   /// spreads over the rails without disturbing the data cursor.  Only
   /// consulted when Config::rndv_pipeline is on; the legacy protocol keeps
   /// its historical placement (a non-advancing copy of the data cursor).
-  [[nodiscard]] RailCursor& ctl_cursor(int peer);
-  /// Per-rail outstanding bytes (the gauge the Adaptive policy balances on).
-  [[nodiscard]] std::vector<std::int64_t> rail_outstanding(int peer) const;
-  /// Per-rail health mask (1 = up).  All-ones unless fault injection is on.
-  [[nodiscard]] std::vector<std::uint8_t> rail_up(int peer) const;
-  /// Indices of the currently-up rails (may be empty mid-outage).
-  [[nodiscard]] std::vector<int> live_rails(int peer) const;
+  [[nodiscard]] RailCursor& ctl_cursor(int peer, int vci);
+  /// Per-rail outstanding bytes of one VCI's slice (the gauge the Adaptive
+  /// policy balances on), indexed locally 0..nrails-1.
+  [[nodiscard]] std::vector<std::int64_t> rail_outstanding(int peer, int vci) const;
+  /// Per-rail health mask of one VCI's slice (1 = up).  All-ones unless
+  /// fault injection is on.
+  [[nodiscard]] std::vector<std::uint8_t> rail_up(int peer, int vci) const;
+  /// Flat indices of the currently-up rails in one VCI's slice (may be empty
+  /// mid-outage).
+  [[nodiscard]] std::vector<int> live_rails(int peer, int vci) const;
   [[nodiscard]] bool fault_enabled() const { return fault_enabled_; }
 
   /// Moved to namespace scope (channel.hpp) so the failover hand-back can
@@ -150,12 +169,27 @@ class NetChannel final : public Channel {
     ib::LKey lkey[kMaxHcas] = {0, 0, 0, 0};
   };
 
+  /// Per-(peer, VCI) channel state for VCIs >= 1: each extra VCI gets its
+  /// own cursors and pending-control queue over its own rail slice.  VCI 0
+  /// keeps using the Peer's historical members, so the default single-VCI
+  /// configuration allocates and touches exactly what it always did.
+  struct VciLane {
+    RailCursor cursor;
+    RailCursor ctl;
+    std::deque<std::pair<MsgHeader, CtsRkeys>> pending_ctl;
+  };
+
   struct Peer {
-    std::vector<Rail> rails;
+    std::vector<Rail> rails;  ///< flat, VCI-major: VCI v owns [v·R, (v+1)·R)
     RailCursor cursor;
     RailCursor ctl;  ///< control-traffic cursor (rndv_pipeline mode)
     /// Control messages waiting for rail credit.
     std::deque<std::pair<MsgHeader, CtsRkeys>> pending_ctl;
+    /// Lane state of VCIs 1..; empty (never allocated) at vci.count = 1.
+    std::vector<VciLane> ext;
+    /// The peer's channel, kept for symmetric lazy VCI-group wiring.
+    NetChannel* remote = nullptr;
+    int wired_vcis = 0;  ///< QP groups wired so far (rails.size() / rails())
   };
 
   /// Sender-side context attached to each send WQE via wr_id.  Kept at 40
@@ -184,6 +218,12 @@ class NetChannel final : public Channel {
 
   Peer& peer(int rank);
   [[nodiscard]] const Peer& peer(int rank) const;
+
+  // VCI-lane accessors: VCI 0 resolves to the Peer's own members, higher
+  // VCIs to their ext entry (wired on demand by the callers).
+  [[nodiscard]] static RailCursor& lane_cursor(Peer& c, int vci);
+  [[nodiscard]] static RailCursor& lane_ctl(Peer& c, int vci);
+  [[nodiscard]] static std::deque<std::pair<MsgHeader, CtsRkeys>>& lane_pending(Peer& c, int vci);
 
   /// One-time lazy allocation of the shared send/receive resources: the
   /// sender bounce pool, and in SRQ mode one SRQ + preposted slot arena per
@@ -225,10 +265,12 @@ class NetChannel final : public Channel {
 
   // ---- failover machinery (reachable only with fault injection on) ----
 
-  /// First up rail at-or-after `rail`, wrapping; `rail` itself if none is up.
+  /// First up rail at-or-after `rail` within its VCI's slice, wrapping
+  /// inside the slice; `rail` itself if none is up.
   [[nodiscard]] int remap_live(const Peer& c, int rail) const;
-  /// Blocks the calling process until some rail to `peer_rank` is up.
-  void wait_any_rail_up(int peer_rank);
+  /// Blocks the calling process until some rail of VCI `vci` to `peer_rank`
+  /// is up.
+  void wait_any_rail_up(int peer_rank, int vci);
   /// Error CQE seen on (peer, rail): mark it down and start the timed
   /// recovery probe.
   void mark_rail_down(int peer_rank, int rail);
@@ -285,6 +327,9 @@ class NetChannel final : public Channel {
   Counter& eager_pool_bytes_;  ///< eager receive-buffer bytes allocated
   Counter& srq_replenishes_;   ///< batched SRQ reposts (low-watermark events served)
   Counter& srq_pool_dry_;      ///< inbound messages stalled on an empty pool
+  /// Gated VCI counter (null in the default config so snapshots are
+  /// unchanged): per-rail credits after the split across vci.count groups.
+  Counter* vci_credit_split_ = nullptr;
 };
 
 }  // namespace ib12x::mvx

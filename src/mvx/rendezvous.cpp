@@ -93,16 +93,17 @@ Request Rendezvous::peek_cookie(std::uint64_t id) {
 void Rendezvous::send_rts(int peer, CommKind kind, const void* /*buf*/, std::int64_t bytes,
                           int tag, int ctx, const Request& req) {
   const Config& cfg = host_.config();
-  // Control messages round-robin over rails; the data schedule is decided at
-  // CTS time by the marker-driven policy.
+  const int vci = req->vci;
+  // Control messages round-robin over the VCI's rail slice; the data
+  // schedule is decided at CTS time by the marker-driven policy.
   Schedule s;
   if (cfg.rndv_pipeline) {
-    // Control traffic owns its own per-peer cursor so RTSes rotate over the
-    // rails instead of pinning to wherever the data cursor happens to sit.
+    // Control traffic owns its own per-(peer, vci) cursor so RTSes rotate
+    // over the rails instead of pinning to wherever the data cursor sits.
     s = choose_schedule(Policy::RoundRobin, kind, 0, net_.nrails(peer), cfg.stripe_threshold,
-                        net_.ctl_cursor(peer));
+                        net_.ctl_cursor(peer, vci));
   } else {
-    RailCursor ctl_cursor = net_.cursor(peer);  // do not disturb the data cursor
+    RailCursor ctl_cursor = net_.cursor(peer, vci);  // do not disturb the data cursor
     s = choose_schedule(Policy::RoundRobin, kind, 0, net_.nrails(peer), cfg.stripe_threshold,
                         ctl_cursor);
   }
@@ -110,16 +111,17 @@ void Rendezvous::send_rts(int peer, CommKind kind, const void* /*buf*/, std::int
   MsgHeader hdr;
   hdr.type = MsgType::Rts;
   hdr.kind = static_cast<std::uint8_t>(kind);
+  hdr.vci = static_cast<std::uint8_t>(vci);
   hdr.src_rank = host_.rank();
   hdr.tag = tag;
   hdr.ctx = ctx;
-  hdr.seq = host_.matcher().next_send_seq(peer, ctx);
+  hdr.seq = host_.matcher().next_send_seq(peer, ctx, vci);
   hdr.size = static_cast<std::uint64_t>(bytes);
   hdr.sender_cookie = new_cookie(req);
   if (cfg.rndv_pipeline) {
     send_progress_[hdr.sender_cookie].chunks_total = chunk_count(cfg, bytes);
   }
-  net_.send_ctl_blocking(peer, s.rail, hdr);
+  net_.send_ctl_blocking(peer, vci * net_.nrails(peer) + s.rail, hdr);
   rts_sent_.inc();
   bytes_sent_.add(static_cast<std::uint64_t>(bytes));
 }
@@ -127,30 +129,32 @@ void Rendezvous::send_rts(int peer, CommKind kind, const void* /*buf*/, std::int
 bool Rendezvous::try_send_rts(int peer, CommKind kind, const void* /*buf*/, std::int64_t bytes,
                               int tag, int ctx, const Request& req) {
   const Config& cfg = host_.config();
+  const int vci = req->vci;
   Schedule s;
   RailCursor saved{};
   if (cfg.rndv_pipeline) {
-    saved = net_.ctl_cursor(peer);  // restored if the probe fails
+    saved = net_.ctl_cursor(peer, vci);  // restored if the probe fails
     s = choose_schedule(Policy::RoundRobin, kind, 0, net_.nrails(peer), cfg.stripe_threshold,
-                        net_.ctl_cursor(peer));
+                        net_.ctl_cursor(peer, vci));
   } else {
-    RailCursor ctl_cursor = net_.cursor(peer);  // do not disturb the data cursor
+    RailCursor ctl_cursor = net_.cursor(peer, vci);  // do not disturb the data cursor
     s = choose_schedule(Policy::RoundRobin, kind, 0, net_.nrails(peer), cfg.stripe_threshold,
                         ctl_cursor);
   }
-  const int rail = net_.probe_ctl_rail(peer, s.rail);
+  const int rail = net_.probe_ctl_rail(peer, vci * net_.nrails(peer) + s.rail);
   if (rail < 0) {
-    if (cfg.rndv_pipeline) net_.ctl_cursor(peer) = saved;
+    if (cfg.rndv_pipeline) net_.ctl_cursor(peer, vci) = saved;
     return false;
   }
 
   MsgHeader hdr;
   hdr.type = MsgType::Rts;
   hdr.kind = static_cast<std::uint8_t>(kind);
+  hdr.vci = static_cast<std::uint8_t>(vci);
   hdr.src_rank = host_.rank();
   hdr.tag = tag;
   hdr.ctx = ctx;
-  hdr.seq = host_.matcher().next_send_seq(peer, ctx);
+  hdr.seq = host_.matcher().next_send_seq(peer, ctx, vci);
   hdr.size = static_cast<std::uint64_t>(bytes);
   hdr.sender_cookie = new_cookie(req);
   if (cfg.rndv_pipeline) {
@@ -183,6 +187,7 @@ void Rendezvous::accept(const MsgHeader& rts, const Request& req) {
 
     MsgHeader cts;
     cts.type = MsgType::Cts;
+    cts.vci = rts.vci;  // the reply stays on the message's VCI
     cts.src_rank = host_.rank();
     cts.ctx = rts.ctx;
     cts.size = rts.size;
@@ -190,8 +195,8 @@ void Rendezvous::accept(const MsgHeader& rts, const Request& req) {
     cts.receiver_cookie = rcookie;
     cts.raddr = reinterpret_cast<std::uint64_t>(req->recv_buf);
 
-    host_.schedule_cpu(cost + cfg.ctl_cpu + cfg.post_cpu,
-                       [this, peer, cts, rkeys] { net_.send_ctl(peer, cts, rkeys); });
+    host_.schedule_cpu_vci(rts.vci, cost + cfg.ctl_cpu + cfg.post_cpu,
+                           [this, peer, cts, rkeys] { net_.send_ctl(peer, cts, rkeys); });
     return;
   }
 
@@ -219,6 +224,7 @@ void Rendezvous::accept(const MsgHeader& rts, const Request& req) {
 
     MsgHeader cts;
     cts.type = MsgType::Cts;
+    cts.vci = rts.vci;  // the reply stays on the message's VCI
     cts.src_rank = host_.rank();
     cts.ctx = rts.ctx;
     cts.size = static_cast<std::uint64_t>(len);
@@ -226,7 +232,8 @@ void Rendezvous::accept(const MsgHeader& rts, const Request& req) {
     cts.receiver_cookie = rcookie;
     cts.raddr = base + static_cast<std::uint64_t>(off);
     cts.chunk = i;
-    host_.schedule_cpu(cost, [this, peer, cts, rkeys] { net_.send_ctl(peer, cts, rkeys); });
+    host_.schedule_cpu_vci(rts.vci, cost,
+                           [this, peer, cts, rkeys] { net_.send_ctl(peer, cts, rkeys); });
   }
 }
 
@@ -263,18 +270,20 @@ std::vector<Rendezvous::Stripe> Rendezvous::plan_stripes(int peer, const Request
                                                          std::int64_t bytes) {
   const Config& cfg = host_.config();
   const int nrails = net_.nrails(peer);
+  const int vci = req->vci;
+  const int base = vci * nrails;  // the VCI's flat rail-slice origin
 
-  // Candidate rails: all of them normally — through the identity overload of
-  // mvx::plan_stripes, so the fault-free path allocates no candidate list —
-  // or the live subset under failover.  If an outage leaves none, plan over
-  // the full set anyway: the writes fail and the error path re-plans once
-  // something recovers.
+  // Candidate rails: all of the VCI's slice normally — through the identity
+  // overload of mvx::plan_stripes, so the fault-free path allocates no
+  // candidate list — or the live subset under failover (already flat rail
+  // indices).  If an outage leaves none, plan over the full set anyway: the
+  // writes fail and the error path re-plans once something recovers.
   std::vector<int> live;
-  if (net_.fault_enabled()) live = net_.live_rails(peer);
+  if (net_.fault_enabled()) live = net_.live_rails(peer, vci);
   const bool masked = !live.empty() && static_cast<int>(live.size()) < nrails;
   const int sched_n = masked ? static_cast<int>(live.size()) : nrails;
   const auto pick = [&](int pos) {
-    return masked ? live[static_cast<std::size_t>(pos)] : pos;
+    return masked ? live[static_cast<std::size_t>(pos)] : base + pos;
   };
 
   std::vector<Stripe> stripes;
@@ -287,7 +296,7 @@ std::vector<Rendezvous::Stripe> Rendezvous::plan_stripes(int peer, const Request
   }
 
   Schedule s = choose_schedule(cfg.policy, static_cast<CommKind>(req->kind), bytes, sched_n,
-                               cfg.stripe_threshold, net_.cursor(peer));
+                               cfg.stripe_threshold, net_.cursor(peer, vci));
   if (s.stripe && bytes > 0) {
     // Striping over the candidate rails (never cutting below min_stripe);
     // stripe sizes follow the configured rail weights for WeightedStriping,
@@ -297,14 +306,20 @@ std::vector<Rendezvous::Stripe> Rendezvous::plan_stripes(int peer, const Request
     const std::vector<double>& w =
         cfg.policy == Policy::WeightedStriping ? cfg.rail_weights : kNoWeights;
     if (masked) {
-      return mvx::plan_stripes(bytes, base_off, live, cfg.min_stripe, w, net_.cursor(peer));
+      return mvx::plan_stripes(bytes, base_off, live, cfg.min_stripe, w, net_.cursor(peer, vci));
     }
-    return mvx::plan_stripes(bytes, base_off, sched_n, cfg.min_stripe, w, net_.cursor(peer));
+    std::vector<Stripe> planned =
+        mvx::plan_stripes(bytes, base_off, sched_n, cfg.min_stripe, w, net_.cursor(peer, vci));
+    if (base != 0) {  // lift the positional plan into the VCI's slice
+      for (Stripe& st : planned) st.rail += base;
+    }
+    return planned;
   }
   if (cfg.policy == Policy::Adaptive) {
-    const int rail = net_.fault_enabled()
-                         ? least_loaded_rail(net_.rail_outstanding(peer), net_.rail_up(peer))
-                         : least_loaded_rail(net_.rail_outstanding(peer));
+    const int rail =
+        base + (net_.fault_enabled()
+                    ? least_loaded_rail(net_.rail_outstanding(peer, vci), net_.rail_up(peer, vci))
+                    : least_loaded_rail(net_.rail_outstanding(peer, vci)));
     stripes.push_back({rail, base_off, bytes});
   } else {
     stripes.push_back({pick(s.rail % sched_n), base_off, bytes});
@@ -339,7 +354,7 @@ void Rendezvous::start_writes(int peer, const Request& req, const MsgHeader& cts
     const Stripe st = stripes[i];
     const sim::Time when = (i == 0 ? cost : 0) + cfg.post_cpu;
     const std::uint64_t raddr = cts.raddr;
-    host_.schedule_cpu(when, [this, peer, st, req_id, raddr, rkeys, lkeys] {
+    host_.schedule_cpu_vci(req->vci, when, [this, peer, st, req_id, raddr, rkeys, lkeys] {
       Request req = peek_cookie(req_id);
       NetChannel::RndvStripe wr;
       wr.rail = st.rail;
@@ -395,8 +410,8 @@ void Rendezvous::start_chunk_writes(int peer, const Request& req, const MsgHeade
 
   const std::uint64_t req_id = chunk_req_id(cts.sender_cookie, cts.chunk);
   const std::uint64_t chunk_base = cts.raddr;
-  host_.schedule_cpu(cost, [this, peer, stripes = std::move(stripes), req_id, chunk_base, off,
-                            rkeys, lkeys] {
+  host_.schedule_cpu_vci(req->vci, cost, [this, peer, stripes = std::move(stripes), req_id,
+                                          chunk_base, off, rkeys, lkeys] {
     const std::uint64_t cookie = req_id & kCookieMask;
     Request req = peek_cookie(cookie);
     std::vector<NetChannel::RndvStripe> batch;
@@ -421,6 +436,7 @@ void Rendezvous::finish_send(int peer, std::uint64_t cookie, const Request& req)
   // receiver and complete the local send.
   MsgHeader fin;
   fin.type = MsgType::Fin;
+  fin.vci = static_cast<std::uint8_t>(req->vci);
   fin.src_rank = host_.rank();
   fin.receiver_cookie = req->peer_cookie;
   net_.send_ctl(peer, fin, CtsRkeys{});
@@ -478,7 +494,8 @@ void Rendezvous::on_write_failed(int peer, const RndvStripe& st) {
 
 void Rendezvous::repost_stripe(int peer, const RndvStripe& st) {
   const Config& cfg = host_.config();
-  std::vector<int> live = net_.live_rails(peer);
+  const int vci = st.rail / net_.nrails(peer);  // recover the slice from the flat rail
+  std::vector<int> live = net_.live_rails(peer, vci);
   if (live.empty()) {
     // Total outage: wait one recovery interval and try again (bounded by the
     // per-stripe attempt budget).
@@ -494,7 +511,7 @@ void Rendezvous::repost_stripe(int peer, const RndvStripe& st) {
   }
 
   std::vector<Stripe> parts =
-      mvx::plan_stripes(st.len, 0, live, cfg.min_stripe, {}, net_.cursor(peer));
+      mvx::plan_stripes(st.len, 0, live, cfg.min_stripe, {}, net_.cursor(peer, vci));
   if (parts.empty()) parts.push_back({live.front(), 0, st.len});  // zero-byte stripe
 
   // The failed stripe was already counted once in the in-flight bookkeeping;
@@ -520,8 +537,8 @@ void Rendezvous::repost_stripe(int peer, const RndvStripe& st) {
     wr.raddr = st.raddr + static_cast<std::uint64_t>(p.offset);
     batch.push_back(wr);
   }
-  host_.schedule_cpu(
-      cfg.wqe_build_cpu * static_cast<std::int64_t>(batch.size()) + cfg.doorbell_cpu,
+  host_.schedule_cpu_vci(
+      vci, cfg.wqe_build_cpu * static_cast<std::int64_t>(batch.size()) + cfg.doorbell_cpu,
       [this, peer, batch = std::move(batch)] { net_.post_write_batch(peer, batch); });
 }
 
@@ -544,7 +561,8 @@ void Rendezvous::on_fin(const MsgHeader& hdr) {
     for (PinCache::Region* r : it->second.pins) pin_cache_->release(r);
     recv_progress_.erase(it);
   }
-  host_.schedule_cpu(host_.config().ctl_cpu, [this, req] { host_.complete_request(req); });
+  host_.schedule_cpu_vci(hdr.vci, host_.config().ctl_cpu,
+                         [this, req] { host_.complete_request(req); });
 }
 
 }  // namespace ib12x::mvx

@@ -33,10 +33,11 @@ void ShmChannel::send(int peer, CommKind kind, const void* buf, std::int64_t byt
   MsgHeader hdr;
   hdr.type = MsgType::Eager;
   hdr.kind = static_cast<std::uint8_t>(kind);
+  hdr.vci = static_cast<std::uint8_t>(req->vci);
   hdr.src_rank = host_.rank();
   hdr.tag = tag;
   hdr.ctx = ctx;
-  hdr.seq = host_.matcher().next_send_seq(peer, ctx);
+  hdr.seq = host_.matcher().next_send_seq(peer, ctx, req->vci);
   hdr.size = static_cast<std::uint64_t>(bytes);
 
   // Copy into the (modelled) shared segment; the sender's CPU does this.
@@ -77,12 +78,13 @@ void ShmChannel::send_evt(int peer, CommKind kind, const void* buf, std::int64_t
   MsgHeader hdr;
   hdr.type = MsgType::Eager;
   hdr.kind = static_cast<std::uint8_t>(kind);
+  hdr.vci = static_cast<std::uint8_t>(req->vci);
   hdr.src_rank = host_.rank();
   hdr.tag = tag;
   hdr.ctx = ctx;
   // Claimed at dispatch so a flushed queue keeps MPI ordering (see
   // NetChannel::try_send).
-  hdr.seq = host_.matcher().next_send_seq(peer, ctx);
+  hdr.seq = host_.matcher().next_send_seq(peer, ctx, req->vci);
   hdr.size = static_cast<std::uint64_t>(bytes);
 
   // shared_ptr, not a moved vector: schedule_cpu takes a copyable callable.
@@ -92,8 +94,8 @@ void ShmChannel::send_evt(int peer, CommKind kind, const void* buf, std::int64_t
                     static_cast<const std::byte*>(buf) + bytes);
   }
 
-  host_.schedule_cpu(
-      cfg.post_cpu + host_.memcpy_time(bytes), [this, peer, hdr, payload, bytes, req] {
+  host_.schedule_cpu_vci(
+      req->vci, cfg.post_cpu + host_.memcpy_time(bytes), [this, peer, hdr, payload, bytes, req] {
         Peer& c = peers_.at(peer);
         sim::Simulator& sim = host_.simulator();
         auto res = c.pipe.reserve_bytes(sim.now(), sim.now(),

@@ -19,10 +19,11 @@ enum class MsgType : std::uint8_t {
 struct MsgHeader {
   MsgType type = MsgType::Eager;
   std::uint8_t kind = 0;         ///< CommKind recorded by the communication marker
+  std::uint8_t vci = 0;          ///< virtual communication interface (seq-space slice)
   std::int32_t src_rank = -1;
   std::int32_t tag = 0;
   std::int32_t ctx = 0;          ///< communicator context id
-  std::uint32_t seq = 0;         ///< per (pair, ctx) ordering number (Eager/Rts only)
+  std::uint32_t seq = 0;         ///< per (pair, ctx, vci) ordering number (Eager/Rts only)
   std::uint64_t size = 0;        ///< payload bytes (Eager) / full message size (Rts)
                                  ///< / chunk bytes (pipelined Cts)
   std::uint64_t sender_cookie = 0;
@@ -34,9 +35,9 @@ struct MsgHeader {
 
 inline constexpr std::size_t kHeaderBytes = sizeof(MsgHeader);
 
-// The chunk field must live in what used to be tail padding: growing the
+// The chunk and vci fields must live in what used to be padding: growing the
 // header would change eager slot sizes and memcpy charges, breaking
-// byte-identity of the legacy (rndv_pipeline=off) protocol.
+// byte-identity of the legacy (rndv_pipeline=off, vci.count=1) protocol.
 static_assert(sizeof(MsgHeader) == 64, "MsgHeader grew: legacy wire timing would change");
 
 /// Hard cap on HCAs per node the wire format supports (CTS carries one rkey

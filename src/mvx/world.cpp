@@ -66,6 +66,51 @@ World::World(ClusterSpec spec, Config cfg) : spec_(spec), cfg_(cfg) {
         "(topo.fattree_k / topo.df_*) or leave them 0 to auto-derive");
   }
 
+  // VCI knobs: fail fast on shapes the model cannot represent.
+  if (cfg_.vci.count < 1 || cfg_.vci.count > kMaxVcis) {
+    throw std::invalid_argument(
+        "Config: vci.count = " + std::to_string(cfg_.vci.count) +
+        " is out of range: each rank hosts between 1 and " + std::to_string(kMaxVcis) +
+        " virtual communication interfaces.  Supported combinations: 1 <= vci.count <= " +
+        std::to_string(kMaxVcis));
+  }
+  if (cfg_.vci.threads < 1) {
+    throw std::invalid_argument(
+        "Config: vci.threads = " + std::to_string(cfg_.vci.threads) +
+        " is out of range: every rank needs at least its main thread.  Supported "
+        "combinations: vci.threads >= 1");
+  }
+  if ((cfg_.vci.count > 1 || cfg_.vci.threads > 1) && cfg_.use_rdma_fast_path) {
+    throw std::invalid_argument(
+        "Config: vci.count = " + std::to_string(cfg_.vci.count) +
+        " / vci.threads = " + std::to_string(cfg_.vci.threads) +
+        " conflicts with use_rdma_fast_path = true: the polled ring is a "
+        "single-channel resource pinned to rail 0 and cannot be sliced per VCI.  "
+        "Supported combinations: VCIs with use_rdma_fast_path = false, or the "
+        "fast path with vci.count = 1 and vci.threads = 1");
+  }
+  if (cfg_.vci.count > 1) {
+    if (cfg_.use_srq) {
+      if (cfg_.srq_pool_slots / std::max(1, cfg_.rails() * cfg_.vci.count) < 1) {
+        throw std::invalid_argument(
+            "Config: vci.count = " + std::to_string(cfg_.vci.count) +
+            " conflicts with srq_pool_slots = " + std::to_string(cfg_.srq_pool_slots) +
+            ": splitting the SRQ arena over " +
+            std::to_string(cfg_.rails() * cfg_.vci.count) +
+            " rail slices (rails() * vci.count) rounds the per-rail credit share "
+            "to zero.  Supported combinations: srq_pool_slots >= rails() * "
+            "vci.count, fewer VCIs, or use_srq = false");
+      }
+    } else if (cfg_.eager_credits / cfg_.vci.count < 1) {
+      throw std::invalid_argument(
+          "Config: vci.count = " + std::to_string(cfg_.vci.count) +
+          " conflicts with eager_credits = " + std::to_string(cfg_.eager_credits) +
+          ": splitting the per-rail credit window over the VCIs rounds each "
+          "slice to zero.  Supported combinations: eager_credits >= vci.count, "
+          "or fewer VCIs");
+    }
+  }
+
   // Parallel engine: min(sim_shards, nodes) shards.  Nodes are placed whole
   // (endpoints, shm channels, HCAs of one node always share a shard, so only
   // fabric traffic crosses shards); *which* shard is the placement policy
@@ -356,17 +401,35 @@ void World::run(const std::function<void(Communicator&)>& rank_main) {
   std::vector<int> group(static_cast<std::size_t>(ranks()));
   std::iota(group.begin(), group.end(), 0);
 
+  const int nthreads = std::max(1, cfg_.vci.threads);
   for (int r = 0; r < ranks(); ++r) {
     Endpoint* ep = eps_[static_cast<std::size_t>(r)].get();
     ep->coll_engine().begin_run();
-    procs.add("rank" + std::to_string(r), [this, ep, group, &rank_main](sim::Process& p) {
-      ep->attach_process(&p);
-      Communicator comm(this, ep, group, ep->rank(), /*ctx_base=*/0);
-      rank_main(comm);
-      // Rank code is done: let the collective-progress fiber drain any
-      // schedules still in flight, then exit.
-      ep->coll_engine().request_shutdown();
-    });
+    if (nthreads == 1) {
+      procs.add("rank" + std::to_string(r), [this, ep, group, &rank_main](sim::Process& p) {
+        ep->attach_process(&p);
+        Communicator comm(this, ep, group, ep->rank(), /*ctx_base=*/0);
+        rank_main(comm);
+        // Rank code is done: let the collective-progress fiber drain any
+        // schedules still in flight, then exit.
+        ep->coll_engine().request_shutdown();
+      });
+    } else {
+      // Multi-threaded rank: every modeled app thread is its own fiber, all
+      // running rank_main against the shared endpoint (user code branches on
+      // comm.thread_id()).  The last thread out shuts the collective engine.
+      auto remaining = std::make_shared<int>(nthreads);
+      for (int t = 0; t < nthreads; ++t) {
+        procs.add("rank" + std::to_string(r) + ".t" + std::to_string(t),
+                  [this, ep, group, t, remaining, &rank_main](sim::Process& p) {
+                    if (t == 0) ep->attach_process(&p);
+                    ep->register_thread(&p, t);
+                    Communicator comm(this, ep, group, ep->rank(), /*ctx_base=*/0);
+                    rank_main(comm);
+                    if (--*remaining == 0) ep->coll_engine().request_shutdown();
+                  });
+      }
+    }
     // The rank's collective-progress fiber: models the asynchronous progress
     // thread that advances in-flight collective schedules while the rank's
     // own fiber computes or waits.
@@ -392,18 +455,34 @@ void World::run_sharded(const std::function<void(Communicator&)>& rank_main) {
   std::vector<sim::Process*> order;
   order.reserve(static_cast<std::size_t>(ranks()) * 2);
 
+  const int nthreads = std::max(1, cfg_.vci.threads);
   for (int r = 0; r < ranks(); ++r) {
     const int node = r / spec_.procs_per_node;
     sim::ProcessSet& procs = *sets[static_cast<std::size_t>(node_shard(node))];
     Endpoint* ep = eps_[static_cast<std::size_t>(r)].get();
     ep->coll_engine().begin_run();
-    order.push_back(
-        &procs.add("rank" + std::to_string(r), [this, ep, group, &rank_main](sim::Process& p) {
-          ep->attach_process(&p);
-          Communicator comm(this, ep, group, ep->rank(), /*ctx_base=*/0);
-          rank_main(comm);
-          ep->coll_engine().request_shutdown();
-        }));
+    if (nthreads == 1) {
+      order.push_back(
+          &procs.add("rank" + std::to_string(r), [this, ep, group, &rank_main](sim::Process& p) {
+            ep->attach_process(&p);
+            Communicator comm(this, ep, group, ep->rank(), /*ctx_base=*/0);
+            rank_main(comm);
+            ep->coll_engine().request_shutdown();
+          }));
+    } else {
+      auto remaining = std::make_shared<int>(nthreads);
+      for (int t = 0; t < nthreads; ++t) {
+        order.push_back(&procs.add("rank" + std::to_string(r) + ".t" + std::to_string(t),
+                                   [this, ep, group, t, remaining, &rank_main](sim::Process& p) {
+                                     if (t == 0) ep->attach_process(&p);
+                                     ep->register_thread(&p, t);
+                                     Communicator comm(this, ep, group, ep->rank(),
+                                                       /*ctx_base=*/0);
+                                     rank_main(comm);
+                                     if (--*remaining == 0) ep->coll_engine().request_shutdown();
+                                   }));
+      }
+    }
     order.push_back(&procs.add("collprog" + std::to_string(r), [ep](sim::Process& p) {
       ep->coll_engine().progress_main(p);
     }));

@@ -150,6 +150,38 @@ TEST(TelemetryTable, ExposesSwitchGaugesOnRoutedTopologies) {
             0.0);
 }
 
+TEST(TelemetryTable, ExposesVciCountersWhenEnabled) {
+  // With several VCIs and modeled threads the per-layer table must surface
+  // the vci.* group: per-VCI send counts, shared-VCI lock contentions, the
+  // progress-fiber wakeups, and the credit-split high-water mark.
+  mvx::Config cfg;
+  cfg.vci.count = 2;
+  cfg.vci.threads = 2;
+  mvx::World w(mvx::ClusterSpec{2, 1}, cfg);
+  w.run([](mvx::Communicator& c) {
+    const int t = c.thread_id();
+    for (int i = 0; i < 8; ++i) {
+      std::vector<std::byte> buf(512);
+      if (c.rank() == 0) {
+        c.send(buf.data(), buf.size(), mvx::BYTE, 1, t * 100 + i);
+      } else {
+        c.recv(buf.data(), buf.size(), mvx::BYTE, 0, t * 100 + i);
+      }
+    }
+  });
+
+  const Table t = telemetry_table(w);
+  std::map<std::string, double> rows;
+  for (std::size_t i = 0; i < t.row_count(); ++i) rows[t.row_label(i)] = t.value(i, 0);
+  for (const char* name : {"vci.sends.v0", "vci.sends.v1", "vci.lock_contentions",
+                           "vci.progress_wakeups", "vci.credit_split"}) {
+    ASSERT_TRUE(rows.count(name)) << name << " missing from telemetry table";
+  }
+  EXPECT_GT(rows["vci.sends.v0"] + rows["vci.sends.v1"], 0.0);
+  EXPECT_GT(rows["vci.progress_wakeups"], 0.0);
+  EXPECT_GT(rows["vci.credit_split"], 0.0);
+}
+
 TEST(Runner, MeasurementsAreDeterministic) {
   BenchParams bp;
   bp.lat_iters = 30;

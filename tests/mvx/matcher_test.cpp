@@ -100,10 +100,11 @@ TEST(Matcher, SequencingIsPerPeerAndContext) {
 TEST(Matcher, SendSeqCountsPerPeerCtx) {
   TelemetryRegistry tel;
   Matcher m(tel);
-  EXPECT_EQ(m.next_send_seq(1, 0), 0u);
-  EXPECT_EQ(m.next_send_seq(1, 0), 1u);
-  EXPECT_EQ(m.next_send_seq(1, 5), 0u);  // fresh ctx
-  EXPECT_EQ(m.next_send_seq(2, 0), 0u);  // fresh peer
+  EXPECT_EQ(m.next_send_seq(1, 0, 0), 0u);
+  EXPECT_EQ(m.next_send_seq(1, 0, 0), 1u);
+  EXPECT_EQ(m.next_send_seq(1, 5, 0), 0u);  // fresh ctx
+  EXPECT_EQ(m.next_send_seq(2, 0, 0), 0u);  // fresh peer
+  EXPECT_EQ(m.next_send_seq(1, 0, 1), 0u);  // fresh vci
 }
 
 TEST(Matcher, ProbeSeesUnexpectedWithoutConsuming) {
