@@ -138,8 +138,9 @@ void QueuePair::post_recv(const RecvWr& wr) {
 void QueuePair::flush_send_wr(const SendWr& wr) {
   Wc wc;
   wc.wr_id = wr.wr_id;
-  wc.opcode =
-      wr.opcode == Opcode::Send ? WcOpcode::SendComplete : WcOpcode::RdmaWriteComplete;
+  wc.opcode = wr.opcode == Opcode::Send       ? WcOpcode::SendComplete
+              : wr.opcode == Opcode::RdmaRead ? WcOpcode::RdmaReadComplete
+                                              : WcOpcode::RdmaWriteComplete;
   wc.status = WcStatus::WrFlushErr;
   wc.byte_len = wr.length;
   wc.qp_num = num_;
@@ -309,6 +310,11 @@ void Port::service(QueuePair* qp, int eng) {
   FaultPlan* plan = hca_->fabric().fault_plan();
   MsgFault fault = MsgFault::None;
   if (plan != nullptr) fault = plan->draw_msg_fault(*hca_);
+  // A read has no separate ACK — the response *is* the acknowledgment — so
+  // both fault flavours collapse to retry exhaustion with no data moved.
+  // Reads are idempotent, which is why the clean full-retry (no duplicate
+  // bookkeeping) is the faithful model.
+  if (wr.opcode == Opcode::RdmaRead && fault != MsgFault::None) fault = MsgFault::Drop;
   if (fault == MsgFault::Drop) {
     // Transport retry exhaustion: the engine fetched the WQE but no data
     // reached the responder.  The error CQE surfaces after the (modelled)
@@ -320,8 +326,9 @@ void Port::service(QueuePair* qp, int eng) {
     sim.at(fetch.finish, [this, eng, qp] { engine_done(eng, qp); });
     Wc wc;
     wc.wr_id = wr.wr_id;
-    wc.opcode =
-        wr.opcode == Opcode::Send ? WcOpcode::SendComplete : WcOpcode::RdmaWriteComplete;
+    wc.opcode = wr.opcode == Opcode::Send       ? WcOpcode::SendComplete
+                : wr.opcode == Opcode::RdmaRead ? WcOpcode::RdmaReadComplete
+                                                : WcOpcode::RdmaWriteComplete;
     wc.status = WcStatus::RetryExcErr;
     wc.byte_len = wr.length;
     wc.qp_num = qp->num_;
@@ -340,6 +347,37 @@ void Port::service(QueuePair* qp, int eng) {
   Topology& topo = hca_->fabric().topology();
   const Route route = topo.resolve(lid_, dport.lid_);
   ++hops_hist_[static_cast<std::size_t>(std::min(route.count, kMaxRouteHops))];
+
+  if (wr.opcode == Opcode::RdmaRead) {
+    // Requester side of an RDMA Read: the engine fetches the WQE and emits a
+    // single header-only request packet, which (like all control traffic)
+    // rides the latency-only path even in contention mode.  Everything else —
+    // rkey translation, payload streaming, the response pipeline — runs on
+    // the responder port once the request lands there (read_respond).  The
+    // forward latency is >= one wire + switch hop, so the cross-shard post
+    // below is conservative-sync safe.
+    ++wqes_serviced_;
+    auto fetch = engine.reserve_time(now, now, P.wqe_fetch);
+    sim.at(fetch.finish, [this, eng, qp] { engine_done(eng, qp); });
+
+    auto st = std::make_unique<Transfer>();
+    // Response orientation: data flows responder → requester, so the source
+    // fields name the responder and the destination fields the requester.
+    // st->wr keeps the caller's pointer roles (src = local destination);
+    // read_respond swaps them after translating the rkey.
+    st->qp = dst;    // responder QP: route source of the response
+    st->dst = qp;    // requester QP: owns the RdmaReadComplete CQE
+    st->dport = this;
+    st->dhca = hca_;
+    st->rengine = &recv_engines_[static_cast<std::size_t>(qp->recv_engine_idx_)];
+    st->src_qp_num = dst->num_;
+    st->wr = std::move(wr);
+    Port* rp = &dport;
+    sim::Simulator& dsim = dhca.simulator();
+    const sim::Time t_req = fetch.finish + route.fwd_latency + F.wire_latency;
+    sim.post(dsim, t_req, [rp, st = std::move(st)]() mutable { rp->read_respond(std::move(st)); });
+    return;
+  }
 
   // Pipeline model.  Each bandwidth stage is a FIFO next-free-time server
   // that carries the whole message as one contiguous reservation at its own
@@ -439,14 +477,111 @@ void Port::service(QueuePair* qp, int eng) {
   sim.at(t_stage2, [this, st = std::move(st)]() mutable { stage_engine(std::move(st)); });
 }
 
+// Responder side of an RDMA Read (runs on the responder port's shard).
+void Port::read_respond(std::unique_ptr<Transfer> st) {
+  sim::Simulator& sim = hca_->simulator();
+  const HcaParams& P = hca_->params();
+  const FabricParams& F = hca_->fabric().fabric_params();
+  const sim::Time now = sim.now();
+  Topology& topo = hca_->fabric().topology();
+
+  QueuePair* rqp = st->qp;   // responder QP
+  QueuePair* reqr = st->dst; // requester QP
+
+  if (rqp->state_ != QpState::Ready) {
+    // The responder QP is flushing (injected link fault): the request is
+    // NAKed, the requester's retries exhaust, and it completes in error with
+    // no data moved.  The NAK retraces the route before the retry timer runs.
+    FaultPlan* plan = hca_->fabric().fault_plan();
+    const sim::Time cqe_time = now + topo.fwd_latency(lid_, st->dport->lid_) + F.wire_latency +
+                               (plan != nullptr ? plan->retry_latency() : 0);
+    Wc wc;
+    wc.wr_id = st->wr.wr_id;
+    wc.opcode = WcOpcode::RdmaReadComplete;
+    wc.status = WcStatus::RetryExcErr;
+    wc.byte_len = st->wr.length;
+    wc.qp_num = reqr->num_;
+    wc.timestamp = cqe_time;
+    sim.post(reqr->port().hca().simulator(), cqe_time, [reqr, wc] { reqr->scq_->push(wc); });
+    return;
+  }
+
+  // Translate the remote source on the responder memory domain, then swap
+  // pointer roles: wr.src becomes the responder-local source and
+  // wr.remote_addr stashes the requester-local destination for the memcpy
+  // at delivery time (finish_transfer's read branch).
+  if (st->wr.length > 0) {
+    std::byte* rsrc = hca_->mem().translate_rkey(st->wr.rkey, st->wr.remote_addr, st->wr.length);
+    st->wr.remote_addr = reinterpret_cast<std::uint64_t>(st->wr.src);
+    st->wr.src = rsrc;
+  }
+
+  const Route route = topo.resolve(lid_, st->dport->lid_);
+  ++hops_hist_[static_cast<std::size_t>(std::min(route.count, kMaxRouteHops))];
+
+  const std::int64_t bytes = st->wr.length;
+  const std::int64_t seg = std::min<std::int64_t>(std::max<std::int64_t>(bytes, 0),
+                                                  P.model_segment_bytes);
+  std::int64_t pkts = (bytes + P.mtu_bytes - 1) / P.mtu_bytes;
+  if (pkts == 0) pkts = 1;
+  const std::int64_t wire_bytes = bytes + pkts * P.pkt_header_bytes;
+  const std::int64_t seg_pkts = (seg + P.mtu_bytes - 1) / P.mtu_bytes;
+  const std::int64_t seg_wire = seg + (seg_pkts == 0 ? 1 : seg_pkts) * P.pkt_header_bytes;
+
+  st->bytes = bytes;
+  st->wire_bytes = wire_bytes;
+  st->t_bus_seg = sim::transfer_time(seg, hca_->bus().dir_rate());
+  st->t_eng_seg = sim::transfer_time(seg, P.engine_rate_gbps);
+  st->t_tx_seg = sim::transfer_time(seg_wire, P.link_rate_gbps);
+  st->t_dl_seg = sim::transfer_time(seg_wire, F.downlink_rate_gbps);
+  st->t_re_seg = sim::transfer_time(seg, P.engine_rate_gbps);
+  st->t_dbus_seg = sim::transfer_time(seg, st->dhca->bus().dir_rate());
+  bytes_tx_ += bytes;
+
+  // The response streams through one of this (responder) port's send DMA
+  // engines.  The engine is picked deterministically per requester QP and
+  // shares bandwidth with scheduler-dispatched sends, but is never marked
+  // busy for the scheduler — responder-side read logic bypasses the WQE
+  // scheduler on real hardware too (there is no WQE to schedule).
+  auto& engine =
+      send_engines_[static_cast<std::size_t>(reqr->num_) % send_engines_.size()];
+  st->engine = &engine;
+
+  // Single-packet responses ride the latency-only fast path, like the
+  // small-message branch of service().
+  if (bytes <= P.mtu_bytes) {
+    auto resp = engine.reserve_time(now, now, P.wqe_fetch + st->t_eng_seg);
+    const sim::Time delivered = resp.finish + st->t_bus_seg + st->t_tx_seg + route.fwd_latency +
+                                st->t_dl_seg + F.wire_latency + st->t_re_seg + st->t_dbus_seg;
+    const sim::Time cqe_time =
+        st->wr.signaled
+            ? delivered + P.cqe_delay +
+                  sim::transfer_time(P.cqe_bus_bytes, st->dhca->bus().dir_rate())
+            : 0;
+    finish_transfer(std::move(st), delivered, cqe_time);
+    return;
+  }
+
+  // Bulk response: responder DMA fetch, then host → HCA over the responder
+  // GX+ bus, then the regular stage 2-6 pipeline toward the requester.
+  auto fetch = engine.reserve_time(now, now, P.wqe_fetch);
+  auto s_bus = hca_->bus().reserve(BusDir::ToHca, now, fetch.finish, bytes);
+  st->bus_last = s_bus.finish;
+  const sim::Time t_stage2 = s_bus.start + st->t_bus_seg;
+  sim.at(t_stage2, [this, st = std::move(st)]() mutable { stage_engine(std::move(st)); });
+}
+
 // Stage 2 (first segment on-chip): send DMA engine.
 void Port::stage_engine(std::unique_ptr<Transfer> st) {
   sim::Simulator& sim = hca_->simulator();
   auto s_eng = st->engine->reserve_bytes(sim.now(), sim.now(), st->bytes);
   st->eng_last = std::max(s_eng.finish, st->bus_last + st->t_eng_seg);
   // The engine frees once the last segment has left it (including any
-  // stretch from bus starvation).
-  sim.at(st->eng_last, [this, eng = st->eng, qp = st->qp] { engine_done(eng, qp); });
+  // stretch from bus starvation).  Read responses never dispatched through
+  // the scheduler, so there is no engine-busy slot to release for them.
+  if (st->wr.opcode != Opcode::RdmaRead) {
+    sim.at(st->eng_last, [this, eng = st->eng, qp = st->qp] { engine_done(eng, qp); });
+  }
 
   const sim::Time t_next = s_eng.start + st->t_eng_seg;
   sim.at(t_next, [this, st = std::move(st)]() mutable { stage_uplink(std::move(st)); });
@@ -604,11 +739,19 @@ void Port::stage_dest_bus(std::unique_ptr<Transfer> st) {
   // HCAs share one HcaParams so the value is unchanged).
   sim::Time cqe_time = 0;
   if (st->wr.signaled) {
-    const sim::Time ack_lat =
-        hca_->fabric().topology().fwd_latency(st->dport->lid_, st->qp->port().lid_);
-    cqe_time = delivered + P.ack_gen + sim::transfer_time(P.ack_wire_bytes, P.link_rate_gbps) +
-               ack_lat + F.wire_latency + P.cqe_delay +
-               sim::transfer_time(P.cqe_bus_bytes, st->qp->port().hca().bus().dir_rate());
+    if (st->wr.opcode == Opcode::RdmaRead) {
+      // Read response: the data *is* the acknowledgment, and this stage is
+      // already running requester-side (st->dport), so the CQE follows the
+      // delivery directly — no ACK retrace.
+      cqe_time = delivered + P.cqe_delay +
+                 sim::transfer_time(P.cqe_bus_bytes, st->dhca->bus().dir_rate());
+    } else {
+      const sim::Time ack_lat =
+          hca_->fabric().topology().fwd_latency(st->dport->lid_, st->qp->port().lid_);
+      cqe_time = delivered + P.ack_gen + sim::transfer_time(P.ack_wire_bytes, P.link_rate_gbps) +
+                 ack_lat + F.wire_latency + P.cqe_delay +
+                 sim::transfer_time(P.cqe_bus_bytes, st->qp->port().hca().bus().dir_rate());
+    }
   }
   finish_transfer(std::move(st), delivered, cqe_time);
 }
@@ -621,6 +764,37 @@ void Port::finish_transfer(std::unique_ptr<Transfer> st, sim::Time delivered,
   // post() degenerates to plain at() whenever those coincide.
   sim::Simulator& sim = hca_->simulator();
   sim::Simulator& dsim = st->dport->hca().simulator();
+  if (st->wr.opcode == Opcode::RdmaRead) {
+    // Read response landing: place the data in requester host memory (the
+    // requester-local destination was stashed in remote_addr by
+    // read_respond), then complete on the requester's *send* CQ.  Both
+    // events live on the requester shard (dsim); the delivery fires first
+    // (strictly earlier, or FIFO at an equal instant since it is pushed
+    // first), so the CQE observes the data.
+    Transfer* raw = st.get();
+    sim.post(dsim, delivered, [raw] {
+      if (raw->wr.length > 0) {
+        std::memcpy(reinterpret_cast<std::byte*>(raw->wr.remote_addr), raw->wr.src,
+                    raw->wr.length);
+      }
+      if (raw->wr.delivered_cb) raw->wr.delivered_cb();
+    });
+    if (!st->wr.signaled) {
+      // Keep the Transfer alive until the delivery event has consumed it.
+      sim.post(dsim, delivered, [st = std::move(st)] {});
+      return;
+    }
+    sim.post(dsim, cqe_time, [st = std::move(st), cqe_time] {
+      Wc wc;
+      wc.wr_id = st->wr.wr_id;
+      wc.opcode = WcOpcode::RdmaReadComplete;
+      wc.byte_len = st->wr.length;
+      wc.qp_num = st->dst->num();
+      wc.timestamp = cqe_time;
+      st->dst->scq_->push(wc);
+    });
+    return;
+  }
   if (!st->wr.signaled) {
     // Data visible in responder host memory → deliver (copy + CQE).
     sim.post(dsim, delivered, [st = std::move(st)] {

@@ -257,6 +257,14 @@ class Port {
   /// receive WQE posted (RNR with a FaultPlan attached; throws without one).
   bool deliver(QueuePair* dst_qp, const SendWr& wr, QpNum src_qp_num);
 
+  /// Responder side of an RDMA Read: runs on the *responder* port (and its
+  /// shard) once the request packet arrives, translates the rkey on the
+  /// responder memory domain, and streams the response payload back through
+  /// this port's engine/link pipeline toward the requester.  The Transfer
+  /// arrives response-oriented: st->qp is the responder QP (route source),
+  /// st->dst the requester QP that owns the RdmaReadComplete CQE.
+  void read_respond(std::unique_ptr<Transfer> st);
+
   Hca* hca_;
   int index_;
   Lid lid_ = kInvalidLid;

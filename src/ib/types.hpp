@@ -20,6 +20,7 @@ enum class Opcode : std::uint8_t {
   Send,              ///< channel semantics; consumes a receive WQE at the responder
   RdmaWrite,         ///< memory semantics; invisible to the responder
   RdmaWriteWithImm,  ///< RDMA write that additionally consumes a receive WQE
+  RdmaRead,          ///< memory semantics; responder HCA streams data back
 };
 
 struct SendWr {
@@ -28,7 +29,9 @@ struct SendWr {
   const std::byte* src = nullptr;  ///< registered local buffer
   std::uint32_t length = 0;
   LKey lkey = 0;
-  // RDMA only:
+  // RDMA only.  For RdmaRead, `src`/`lkey` name the *local destination*
+  // buffer and `remote_addr`/`rkey` the remote source (ibv_send_wr uses the
+  // same sg-list fields for both directions).
   std::uint64_t remote_addr = 0;
   RKey rkey = 0;
   // RdmaWriteWithImm only:
@@ -53,6 +56,7 @@ struct RecvWr {
 enum class WcOpcode : std::uint8_t {
   SendComplete,       ///< Send WQE acknowledged by the responder
   RdmaWriteComplete,  ///< RDMA write acknowledged (remote memory updated)
+  RdmaReadComplete,   ///< RDMA read response landed in local memory
   RecvComplete,       ///< inbound Send (or write-with-imm) landed
 };
 

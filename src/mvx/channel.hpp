@@ -88,6 +88,24 @@ class ChannelHost {
     (void)st;
   }
 
+  /// A rendezvous RDMA-read stripe finished (read-rendezvous; the receiver
+  /// is the requester).  Default no-op: only hosts with the read protocol
+  /// enabled override it.
+  virtual void on_rndv_read_done(int peer, std::uint64_t req_id) {
+    (void)peer;
+    (void)req_id;
+  }
+  /// A rendezvous RDMA-read stripe failed (error CQE under fault injection).
+  /// Same contract as on_rndv_write_failed, receiver-side.  Default no-op.
+  virtual void on_rndv_read_failed(int peer, const RndvStripe& st) {
+    (void)peer;
+    (void)st;
+  }
+  /// A write-with-immediate landed on this (receiving) rank: the imm word
+  /// carries the packed {vci, receiver cookie} that completes the rendezvous
+  /// without a FIN.  Event context.  Default no-op.
+  virtual void on_rndv_imm(std::uint32_t imm_data) { (void)imm_data; }
+
   /// A send-side eager resource (bounce buffer, credit, rail) returned to
   /// the pool.  Hosts with a lazy connection manager override this to flush
   /// sends queued behind resource exhaustion; the pool is shared across

@@ -101,6 +101,29 @@ struct Config {
   /// `rndv.reg_cache_evictions` counts them.
   std::int64_t reg_cache_capacity = 0;
 
+  /// Rendezvous protocol family (ibvBench's enumeration).  WriteRtsCts is
+  /// the paper's four-step write rendezvous and the default; ReadRts ships
+  /// the sender's rkeys in the RTS and the receiver pulls with RDMA Read
+  /// (three steps, receiver-driven); WriteImm collapses CTS + FIN into a
+  /// write-with-immediate whose receiver CQE completes the match (three
+  /// steps, sender-driven).  The RTS carries the choice, so mixed-config
+  /// jobs interoperate per message.
+  struct RndvConfig {
+    enum class Protocol : std::uint8_t { WriteRtsCts = 0, ReadRts = 1, WriteImm = 2 };
+    Protocol protocol = Protocol::WriteRtsCts;
+
+    /// Online adaptive scheduling (rndv_policy.hpp): pick protocol × stripe
+    /// width per (peer, size-class) by epsilon-greedy over observed
+    /// completion throughput, instead of the static protocol above.  Arms
+    /// whose stripe width exceeds the live-rail count are masked out.
+    bool adaptive = false;
+    double epsilon = 0.1;        ///< exploration rate (0..1)
+    std::uint64_t seed = 0;      ///< policy RNG stream (xored with the rank)
+    /// Cap on the stripe-width axis of the arm space (0 = up to rails()).
+    int max_width = 0;
+  };
+  RndvConfig rndv;
+
   // ---- virtual communication interfaces (MPI+threads) ---------------------
   /// Zambre-style VCIs: each rank hosts `vci.count` independent software
   /// channels.  A VCI owns its own QP set per peer (a contiguous slice of

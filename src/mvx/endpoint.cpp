@@ -221,7 +221,7 @@ Request Endpoint::start_recv(void* buf, std::int64_t capacity, int src, int tag,
         throw std::runtime_error("start_recv: message truncation (unexpected rendezvous)");
       }
       process().compute(cfg_.match_cpu);
-      rndv_->accept(hdr, req);
+      rndv_->accept(hdr, req, msg->payload);
     }
     unlock_vci(issue_vci);
     return req;
@@ -265,7 +265,12 @@ void Endpoint::ingress(int peer, const MsgHeader& hdr, std::vector<std::byte> pa
         throw std::runtime_error("recv: message truncation (rendezvous)");
       }
       const MsgHeader rts = m.hdr;
-      schedule_cpu_vci(rts.vci, cfg_.match_cpu, [this, rts, req] { rndv_->accept(rts, req); });
+      // A ReadRts RTS carries the sender's rkeys as payload; move it into the
+      // lambda so accept() can hand it to the read path.
+      schedule_cpu_vci(rts.vci, cfg_.match_cpu,
+                       [this, rts, req, payload = std::move(m.payload)] {
+                         rndv_->accept(rts, req, payload);
+                       });
     }
   }
 }
@@ -274,6 +279,8 @@ void Endpoint::on_ctl(const MsgHeader& hdr, const CtsRkeys& rkeys) {
   if (hdr.type == MsgType::Cts) {
     // CTS handling consumes host CPU before the stripes are posted.
     schedule_cpu_vci(hdr.vci, cfg_.ctl_cpu, [this, hdr, rkeys] { rndv_->on_cts(hdr, rkeys); });
+  } else if (hdr.type == MsgType::Done) {
+    rndv_->on_done(hdr);
   } else {  // Fin
     rndv_->on_fin(hdr);
   }
@@ -286,6 +293,16 @@ void Endpoint::on_rndv_write_done(int peer, std::uint64_t req_id) {
 void Endpoint::on_rndv_write_failed(int peer, const RndvStripe& st) {
   rndv_->on_write_failed(peer, st);
 }
+
+void Endpoint::on_rndv_read_done(int peer, std::uint64_t req_id) {
+  rndv_->on_read_done(peer, req_id);
+}
+
+void Endpoint::on_rndv_read_failed(int peer, const RndvStripe& st) {
+  rndv_->on_read_failed(peer, st);
+}
+
+void Endpoint::on_rndv_imm(std::uint32_t imm_data) { rndv_->on_imm(imm_data); }
 
 void Endpoint::flush_queued(int peer) {
   while (conn_->has_queued(peer)) {

@@ -136,6 +136,9 @@ class Endpoint final : public ChannelHost {
   void on_ctl(const MsgHeader& hdr, const CtsRkeys& rkeys) override;
   void on_rndv_write_done(int peer, std::uint64_t req_id) override;
   void on_rndv_write_failed(int peer, const RndvStripe& st) override;
+  void on_rndv_read_done(int peer, std::uint64_t req_id) override;
+  void on_rndv_read_failed(int peer, const RndvStripe& st) override;
+  void on_rndv_imm(std::uint32_t imm_data) override;
   void on_eager_resources_freed(int peer) override;
   void complete_request(const Request& req) override;
 

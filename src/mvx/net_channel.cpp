@@ -485,7 +485,8 @@ bool NetChannel::try_send(int peer_rank, CommKind kind, const void* buf, std::in
 
 // ---------------------------------------------------------------- controls
 
-void NetChannel::send_ctl_blocking(int peer_rank, int rail, const MsgHeader& hdr) {
+void NetChannel::send_ctl_blocking(int peer_rank, int rail, const MsgHeader& hdr,
+                                   const CtsRkeys* rkeys) {
   ensure_vci(peer_rank, hdr.vci);
   Peer& c = peer(peer_rank);
   if (fault_enabled_) {
@@ -494,7 +495,8 @@ void NetChannel::send_ctl_blocking(int peer_rank, int rail, const MsgHeader& hdr
   }
   int bounce = acquire_bounce_and_credit(c, rail);
   host_.process().compute(host_.config().post_cpu);
-  post_eager(c, peer_rank, rail, bounce, hdr, nullptr, 0);
+  post_eager(c, peer_rank, rail, bounce, hdr, rkeys,
+             rkeys != nullptr ? static_cast<std::int64_t>(sizeof(CtsRkeys)) : 0);
 }
 
 int NetChannel::probe_ctl_rail(int peer_rank, int rail) const {
@@ -512,15 +514,20 @@ int NetChannel::probe_ctl_rail(int peer_rank, int rail) const {
   return rail;
 }
 
-void NetChannel::post_ctl_evt(int peer_rank, int rail, const MsgHeader& hdr) {
+void NetChannel::post_ctl_evt(int peer_rank, int rail, const MsgHeader& hdr,
+                              const CtsRkeys* rkeys) {
   // Event-context twin of send_ctl_blocking(); the caller has validated the
   // rail with probe_ctl_rail, so the reservation here cannot fail.
   Peer& c = peer(peer_rank);
   --c.rails.at(static_cast<std::size_t>(rail)).credits;
   const int bounce = free_bounce_.back();
   free_bounce_.pop_back();
-  host_.schedule_cpu_vci(hdr.vci, host_.config().post_cpu, [this, peer_rank, rail, bounce, hdr] {
-    post_eager(peer(peer_rank), peer_rank, rail, bounce, hdr, nullptr, 0);
+  const bool with_rkeys = rkeys != nullptr;
+  const CtsRkeys rk = with_rkeys ? *rkeys : CtsRkeys{};
+  host_.schedule_cpu_vci(hdr.vci, host_.config().post_cpu,
+                         [this, peer_rank, rail, bounce, hdr, with_rkeys, rk] {
+    post_eager(peer(peer_rank), peer_rank, rail, bounce, hdr, with_rkeys ? &rk : nullptr,
+               with_rkeys ? static_cast<std::int64_t>(sizeof(CtsRkeys)) : 0);
   });
 }
 
@@ -553,7 +560,12 @@ void NetChannel::send_ctl(int peer_rank, const MsgHeader& hdr, const CtsRkeys& r
   --c.rails.at(static_cast<std::size_t>(rail)).credits;  // reserve
   int bounce = free_bounce_.back();
   free_bounce_.pop_back();
-  const std::int64_t payload_bytes = hdr.type == MsgType::Cts ? sizeof(CtsRkeys) : 0;
+  // CTS always carries the receiver rkeys; a ReadRts RTS carries the
+  // *sender's* rkeys the same way (pending-queue entries reuse the pair).
+  const bool carries_rkeys =
+      hdr.type == MsgType::Cts ||
+      (hdr.type == MsgType::Rts && hdr.proto == static_cast<std::uint8_t>(RndvProto::ReadRts));
+  const std::int64_t payload_bytes = carries_rkeys ? sizeof(CtsRkeys) : 0;
   post_eager(c, peer_rank, rail, bounce, hdr, &rkeys, payload_bytes);
   ctl_sent_.inc();
 }
@@ -609,6 +621,92 @@ void NetChannel::post_write_batch(int peer_rank, const std::vector<RndvStripe>& 
   for (const RndvStripe& st : sts) {
     c.rails.at(static_cast<std::size_t>(st.rail)).qp->ring_doorbell();
   }
+}
+
+// -------------------------------------------------------- rendezvous reads
+
+void NetChannel::post_read_impl(Peer& c, int peer_rank, const RndvStripe& st, bool deferred) {
+  Rail& r = c.rails.at(static_cast<std::size_t>(st.rail));
+  auto* sctx = new SendCtx{SendCtx::Kind::RndvRead, peer_rank, st.rail, -1, st.req_id, st.len};
+  sctx->attempts = st.attempts;
+  if (fault_enabled_) inflight_stripe_.emplace(sctx, st);
+  r.outstanding += st.len;
+  ib::SendWr wr;
+  wr.wr_id = reinterpret_cast<std::uint64_t>(sctx);
+  wr.opcode = ib::Opcode::RdmaRead;
+  // Read convention (mirrors ibv_send_wr): src/lkey name the LOCAL
+  // destination slice, remote_addr/rkey the remote source.
+  wr.src = st.src;
+  wr.length = static_cast<std::uint32_t>(st.len);
+  wr.lkey = st.len > 0 ? st.lkeys[static_cast<std::size_t>(r.hca_index)] : 0;
+  wr.remote_addr = st.raddr;
+  wr.rkey = st.len > 0 ? st.rkeys.rkey[r.hca_index] : 0;
+  if (deferred) {
+    r.qp->post_send_deferred(wr);
+  } else {
+    r.qp->post_send(wr);
+  }
+}
+
+void NetChannel::post_read(int peer_rank, const RndvStripe& st) {
+  post_read_impl(peer(peer_rank), peer_rank, st, /*deferred=*/false);
+}
+
+void NetChannel::post_read_batch(int peer_rank, const std::vector<RndvStripe>& sts) {
+  Peer& c = peer(peer_rank);
+  for (const RndvStripe& st : sts) post_read_impl(c, peer_rank, st, /*deferred=*/true);
+  for (const RndvStripe& st : sts) {
+    c.rails.at(static_cast<std::size_t>(st.rail)).qp->ring_doorbell();
+  }
+}
+
+// ---------------------------------------------------- rendezvous write-imm
+
+void NetChannel::post_write_imm(int peer_rank, const RndvStripe& st, std::uint32_t imm) {
+  Peer& c = peer(peer_rank);
+  // The immediate consumes a receive WQE at the responder, so the post takes
+  // an eager credit like any channel-semantics message.  Scan the stripe's
+  // VCI slice from its planned rail; with no credit anywhere the post parks
+  // until a CQE or a rail recovery returns one.
+  const int n = host_.config().rails();
+  const int base = (st.rail / n) * n;
+  int rail = -1;
+  for (int i = 0; i < n; ++i) {
+    const int cand = base + (st.rail - base + i) % n;
+    const Rail& r = c.rails[static_cast<std::size_t>(cand)];
+    if (r.credits > 0 && (!fault_enabled_ || r.up)) {
+      rail = cand;
+      break;
+    }
+  }
+  if (rail < 0) {
+    pending_imm_.push_back({peer_rank, st, imm});
+    return;
+  }
+  Rail& r = c.rails.at(static_cast<std::size_t>(rail));
+  --r.credits;  // reserve; returns with this WQE's CQE
+  RndvStripe actual = st;
+  actual.rail = rail;
+  auto* sctx = new SendCtx{SendCtx::Kind::RndvImm, peer_rank, rail, -1, st.req_id, st.len};
+  sctx->attempts = st.attempts;
+  if (fault_enabled_) inflight_stripe_.emplace(sctx, actual);
+  r.outstanding += st.len;
+  ib::SendWr wr;
+  wr.wr_id = reinterpret_cast<std::uint64_t>(sctx);
+  wr.opcode = ib::Opcode::RdmaWriteWithImm;
+  wr.src = st.src;
+  wr.length = static_cast<std::uint32_t>(st.len);
+  wr.lkey = st.len > 0 ? st.lkeys[static_cast<std::size_t>(r.hca_index)] : 0;
+  wr.remote_addr = st.raddr;
+  wr.rkey = st.len > 0 ? st.rkeys.rkey[r.hca_index] : 0;
+  wr.imm_data = imm;
+  r.qp->post_send(wr);
+}
+
+void NetChannel::flush_pending_imm() {
+  std::vector<PendingImm> work;
+  work.swap(pending_imm_);
+  for (const PendingImm& p : work) post_write_imm(p.peer, p.st, p.imm);
 }
 
 // ------------------------------------------------------- fast-path posting
@@ -669,6 +767,7 @@ void NetChannel::on_send_cqe(const ib::Wc& wc) {
           free_bounce_.push_back(sctx->bounce);
         }
         if (fault_enabled_ && !pending_retry_.empty()) flush_pending_retries();
+        if (!pending_imm_.empty()) flush_pending_imm();
         flush_pending_ctl(sctx->peer);
         host_.on_eager_resources_freed(sctx->peer);
         host_.progress().notify_all();
@@ -689,6 +788,40 @@ void NetChannel::on_send_cqe(const ib::Wc& wc) {
             host_.on_rndv_write_failed(sctx->peer, st);
             break;
           }
+        }
+        host_.on_rndv_write_done(sctx->peer, sctx->req_id);
+        break;
+      }
+      case SendCtx::Kind::RndvRead: {
+        if (fault_enabled_) {
+          auto it = inflight_stripe_.find(sctx);
+          const RndvStripe st = it->second;
+          inflight_stripe_.erase(it);
+          if (failed) {
+            host_.on_rndv_read_failed(sctx->peer, st);
+            break;
+          }
+        }
+        host_.on_rndv_read_done(sctx->peer, sctx->req_id);
+        break;
+      }
+      case SendCtx::Kind::RndvImm: {
+        // The immediate consumed a receive slot at the responder; its credit
+        // returns here like any channel-semantics send, unblocking queued
+        // control messages and parked imm posts.
+        ++c.rails.at(static_cast<std::size_t>(sctx->rail)).credits;
+        RndvStripe st;
+        if (fault_enabled_) {
+          auto it = inflight_stripe_.find(sctx);
+          st = it->second;
+          inflight_stripe_.erase(it);
+        }
+        if (!pending_imm_.empty()) flush_pending_imm();
+        flush_pending_ctl(sctx->peer);
+        host_.progress().notify_all();
+        if (fault_enabled_ && failed) {
+          host_.on_rndv_write_failed(sctx->peer, st);
+          break;
         }
         host_.on_rndv_write_done(sctx->peer, sctx->req_id);
         break;
@@ -724,28 +857,41 @@ void NetChannel::on_recv_cqe(const ib::Wc& wc) {
     mark_rail_down(peer_rank, rail);
     return;
   }
-  MsgHeader hdr = read_header(slot->data);
-  const std::byte* payload = slot->data + kHeaderBytes;
+  if (wc.has_imm) {
+    // Write-with-imm rendezvous completion: the payload landed directly in
+    // the matched user buffer, this slot was only consumed for the immediate
+    // — there is no header to parse.  The slot recycles below as usual.
+    host_.on_rndv_imm(wc.imm_data);
+  } else {
+    MsgHeader hdr = read_header(slot->data);
+    const std::byte* payload = slot->data + kHeaderBytes;
 
-  switch (hdr.type) {
-    case MsgType::Eager:
-    case MsgType::Rts: {
-      std::vector<std::byte> copy;
-      if (hdr.type == MsgType::Eager && hdr.size > 0) {
-        copy.assign(payload, payload + hdr.size);
+    switch (hdr.type) {
+      case MsgType::Eager:
+      case MsgType::Rts: {
+        std::vector<std::byte> copy;
+        if (hdr.type == MsgType::Eager && hdr.size > 0) {
+          copy.assign(payload, payload + hdr.size);
+        } else if (hdr.type == MsgType::Rts &&
+                   hdr.proto == static_cast<std::uint8_t>(RndvProto::ReadRts)) {
+          // A ReadRts RTS carries the sender-side rkeys; thread them through
+          // the matcher so accept() can post the reads.
+          copy.assign(payload, payload + sizeof(CtsRkeys));
+        }
+        host_.ingress(hdr.src_rank, hdr, std::move(copy));
+        break;
       }
-      host_.ingress(hdr.src_rank, hdr, std::move(copy));
-      break;
-    }
-    case MsgType::Cts: {
-      CtsRkeys rkeys;
-      std::memcpy(&rkeys, payload, sizeof(rkeys));
-      host_.on_ctl(hdr, rkeys);
-      break;
-    }
-    case MsgType::Fin: {
-      host_.on_ctl(hdr, CtsRkeys{});
-      break;
+      case MsgType::Cts: {
+        CtsRkeys rkeys;
+        std::memcpy(&rkeys, payload, sizeof(rkeys));
+        host_.on_ctl(hdr, rkeys);
+        break;
+      }
+      case MsgType::Fin:
+      case MsgType::Done: {
+        host_.on_ctl(hdr, CtsRkeys{});
+        break;
+      }
     }
   }
 
@@ -851,6 +997,7 @@ void NetChannel::try_recover_rail(int peer_rank, int rail) {
   // someone kicks the stall queue.
   for (HcaPool& pool : pools_) pool.srq->kick();
   flush_pending_retries();
+  if (!pending_imm_.empty()) flush_pending_imm();
   flush_pending_ctl(peer_rank);
   host_.on_eager_resources_freed(peer_rank);
   host_.progress().notify_all();

@@ -72,7 +72,7 @@ class NetChannel final : public Channel {
   /// credit and bounce are reservable right now, or -1; post_ctl_evt then
   /// reserves them and posts the header-only message after post_cpu.
   [[nodiscard]] int probe_ctl_rail(int peer, int rail) const;
-  void post_ctl_evt(int peer, int rail, const MsgHeader& hdr);
+  void post_ctl_evt(int peer, int rail, const MsgHeader& hdr, const CtsRkeys* rkeys = nullptr);
 
   // ---- services for the Rendezvous module ----
 
@@ -81,8 +81,10 @@ class NetChannel final : public Channel {
   void send_ctl(int peer, const MsgHeader& hdr, const CtsRkeys& rkeys);
 
   /// Process-context control send (RTS): blocks for credit and bounce on
-  /// `rail`, charges post_cpu, then posts the header-only message.
-  void send_ctl_blocking(int peer, int rail, const MsgHeader& hdr);
+  /// `rail`, charges post_cpu, then posts the header-only message (or, for
+  /// a ReadRts RTS, the header plus the sender-side rkeys payload).
+  void send_ctl_blocking(int peer, int rail, const MsgHeader& hdr,
+                         const CtsRkeys* rkeys = nullptr);
 
   /// Rails per VCI (the schedulable width one message sees); the flat rail
   /// vector holds wired_vcis × nrails entries.
@@ -114,6 +116,19 @@ class NetChannel final : public Channel {
   /// appended deferred, then each involved rail's doorbell rings once
   /// (QueuePair::post_send_deferred / ring_doorbell).
   void post_write_batch(int peer, const std::vector<RndvStripe>& sts);
+
+  /// Read-rendezvous: posts one RDMA Read pulling `st.len` bytes from the
+  /// sender.  Stripe field roles flip relative to a write — st.src names the
+  /// *local destination* slice and st.raddr/st.rkeys the remote source.
+  /// Reads consume no responder receive WQE, so no credit is taken.
+  void post_read(int peer, const RndvStripe& st);
+  void post_read_batch(int peer, const std::vector<RndvStripe>& sts);
+
+  /// Write-imm rendezvous: posts `st` as an RDMA write with immediate `imm`.
+  /// The immediate consumes a receive WQE at the responder, so the post takes
+  /// an eager credit on a live rail of the stripe's VCI slice; with none
+  /// available the post queues and drains when a credit returns.
+  void post_write_imm(int peer, const RndvStripe& st, std::uint32_t imm);
 
   // ---- services for the fast-path channel (rides rail 0) ----
 
@@ -198,7 +213,15 @@ class NetChannel final : public Channel {
   /// needs for re-planning lives in the inflight_stripe_ side map instead,
   /// populated only when fault injection is on.
   struct SendCtx {
-    enum class Kind : std::uint8_t { Bounce, RndvWrite, FpWrite } kind = Kind::Bounce;
+    // RndvRead / RndvImm are appended enum values only — the struct stays at
+    // 40 bytes so fault-free allocation sizes are unchanged.
+    enum class Kind : std::uint8_t {
+      Bounce,
+      RndvWrite,
+      FpWrite,
+      RndvRead,
+      RndvImm,
+    } kind = Kind::Bounce;
     int peer = -1;
     int rail = -1;
     int bounce = -1;           // Bounce: index into bounce pool
@@ -214,6 +237,13 @@ class NetChannel final : public Channel {
     int bounce = -1;
     std::int64_t bytes = 0;
     int attempts = 0;
+  };
+
+  /// A write-imm post waiting for an eager credit; drained when one returns.
+  struct PendingImm {
+    int peer = -1;
+    RndvStripe st;
+    std::uint32_t imm = 0;
   };
 
   Peer& peer(int rank);
@@ -258,7 +288,10 @@ class NetChannel final : public Channel {
   /// Builds the SendWr for one rendezvous stripe; deferred WQEs need an
   /// explicit ring_doorbell on the rail's QP afterwards.
   void post_write_impl(Peer& c, int peer_rank, const RndvStripe& st, bool deferred);
+  /// Builds the SendWr for one rendezvous read stripe (read-rendezvous).
+  void post_read_impl(Peer& c, int peer_rank, const RndvStripe& st, bool deferred);
   void flush_pending_ctl(int peer_rank);
+  void flush_pending_imm();
 
   void on_send_cqe(const ib::Wc& wc);
   void on_recv_cqe(const ib::Wc& wc);
@@ -304,6 +337,9 @@ class NetChannel final : public Channel {
   /// A vector, not a deque: an empty deque heap-allocates its map block on
   /// construction, and this member must cost nothing when faults are off.
   std::vector<PendingRetry> pending_retry_;
+  /// Credit-starved write-imm posts (WriteImm protocol only; empty — and
+  /// unallocated — in the default configuration).
+  std::vector<PendingImm> pending_imm_;
   /// RndvWrite stripe descriptors for in-flight WQEs, so an error CQE can
   /// hand the write back to the Rendezvous module for re-planning.  Only
   /// populated under fault injection.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -58,6 +59,23 @@ Rendezvous::Rendezvous(ChannelHost& host, NetChannel& net)
   opts.page_cpu = cfg.reg_page_cpu;
   pin_cache_ = std::make_unique<PinCache>(net.hcas(), opts, reg_hits_, reg_misses_,
                                           reg_evictions_);
+
+  // Protocol diversity: counters and the adaptive policy exist only when the
+  // machinery can actually run, so default-configuration telemetry snapshots
+  // (and allocation sequences) are unchanged.
+  rndv_active_ =
+      cfg.rndv.adaptive || cfg.rndv.protocol != Config::RndvConfig::Protocol::WriteRtsCts;
+  if (rndv_active_) {
+    read_stripes_ = &host.telemetry().counter("rndv.read_stripes");
+    imm_sent_ = &host.telemetry().counter("rndv.imm_sent");
+    imm_folded_ = &host.telemetry().counter("rndv.imm_folded");
+    done_sent_ = &host.telemetry().counter("rndv.done_sent");
+  }
+  if (cfg.rndv.adaptive) {
+    policy_ = std::make_unique<RndvPolicy>(cfg, host.rank(), cfg.rails());
+    policy_explore_ = &host.telemetry().counter("rndv.policy_explore");
+    policy_exploit_ = &host.telemetry().counter("rndv.policy_exploit");
+  }
 }
 
 Rendezvous::~Rendezvous() = default;
@@ -86,6 +104,60 @@ Request Rendezvous::peek_cookie(std::uint64_t id) {
     throw std::logic_error("Rendezvous: unknown request cookie " + std::to_string(id));
   }
   return it->second;
+}
+
+// ------------------------------------------------------ protocol selection
+
+RndvProto Rendezvous::select_proto(int peer, std::int64_t bytes, const Request& req,
+                                   std::uint64_t cookie, int* width_out) {
+  *width_out = 0;
+  if (!rndv_active_) return RndvProto::WriteRtsCts;
+  const Config& cfg = host_.config();
+  SendMeta meta;
+  meta.start = host_.simulator().now();
+  if (policy_) {
+    const int live = net_.fault_enabled()
+                         ? static_cast<int>(net_.live_rails(peer, req->vci).size())
+                         : net_.nrails(peer);
+    bool explored = false;
+    meta.arm = policy_->choose(peer, bytes, live, &explored);
+    const RndvArm& arm = policy_->arm(meta.arm);
+    meta.proto = arm.proto;
+    meta.width = arm.width;
+    (explored ? policy_explore_ : policy_exploit_)->inc();
+  } else {
+    meta.proto = static_cast<RndvProto>(static_cast<std::uint8_t>(cfg.rndv.protocol));
+  }
+  send_meta_[cookie] = meta;
+  *width_out = meta.width;
+  return meta.proto;
+}
+
+sim::Time Rendezvous::prepare_read_rts(MsgHeader& hdr, const Request& req, std::int64_t bytes,
+                                       int width, CtsRkeys& rkeys) {
+  // The RTS itself carries everything the receiver needs to pull: the pinned
+  // source address (raddr), the per-HCA rkeys (payload), and the adaptive
+  // arm's forced stripe width (chunk field; 0 = receiver's choice).
+  hdr.chunk = width > 0 ? static_cast<std::uint32_t>(width) : 0;
+  sim::Time cost = 0;
+  if (bytes > 0) {
+    PinCache::Region* reg = pin_cache_->acquire(req->send_buf, bytes, &cost);
+    send_pins_[hdr.sender_cookie] = reg;
+    for (std::size_t h = 0; h < net_.hcas().size(); ++h) rkeys.rkey[h] = reg->mr[h].rkey;
+    hdr.raddr = reinterpret_cast<std::uint64_t>(req->send_buf);
+  }
+  return cost;
+}
+
+void Rendezvous::record_policy(std::uint64_t cookie, const Request& req) {
+  if (send_meta_.empty()) return;
+  auto it = send_meta_.find(cookie);
+  if (it == send_meta_.end()) return;
+  if (policy_ && it->second.arm >= 0) {
+    policy_->record(req->peer, req->bytes, it->second.arm,
+                    host_.simulator().now() - it->second.start);
+  }
+  send_meta_.erase(it);
 }
 
 // ---------------------------------------------------------------- protocol
@@ -118,10 +190,18 @@ void Rendezvous::send_rts(int peer, CommKind kind, const void* /*buf*/, std::int
   hdr.seq = host_.matcher().next_send_seq(peer, ctx, vci);
   hdr.size = static_cast<std::uint64_t>(bytes);
   hdr.sender_cookie = new_cookie(req);
-  if (cfg.rndv_pipeline) {
+  int width = 0;
+  const RndvProto proto = select_proto(peer, bytes, req, hdr.sender_cookie, &width);
+  hdr.proto = static_cast<std::uint8_t>(proto);
+  CtsRkeys rts_rkeys;
+  if (proto == RndvProto::ReadRts) {
+    const sim::Time pin_cost = prepare_read_rts(hdr, req, bytes, width, rts_rkeys);
+    if (pin_cost > 0) host_.process().compute(pin_cost);
+  } else if (cfg.rndv_pipeline) {
     send_progress_[hdr.sender_cookie].chunks_total = chunk_count(cfg, bytes);
   }
-  net_.send_ctl_blocking(peer, vci * net_.nrails(peer) + s.rail, hdr);
+  net_.send_ctl_blocking(peer, vci * net_.nrails(peer) + s.rail, hdr,
+                         proto == RndvProto::ReadRts ? &rts_rkeys : nullptr);
   rts_sent_.inc();
   bytes_sent_.add(static_cast<std::uint64_t>(bytes));
 }
@@ -157,22 +237,45 @@ bool Rendezvous::try_send_rts(int peer, CommKind kind, const void* /*buf*/, std:
   hdr.seq = host_.matcher().next_send_seq(peer, ctx, vci);
   hdr.size = static_cast<std::uint64_t>(bytes);
   hdr.sender_cookie = new_cookie(req);
-  if (cfg.rndv_pipeline) {
+  int width = 0;
+  const RndvProto proto = select_proto(peer, bytes, req, hdr.sender_cookie, &width);
+  hdr.proto = static_cast<std::uint8_t>(proto);
+  CtsRkeys rts_rkeys;
+  if (proto == RndvProto::ReadRts) {
+    // Event context: the pin cost can't be charged inline, so it occupies
+    // the VCI's CPU server ahead of the post event post_ctl_evt schedules.
+    const sim::Time pin_cost = prepare_read_rts(hdr, req, bytes, width, rts_rkeys);
+    if (pin_cost > 0) host_.schedule_cpu_vci(vci, pin_cost, [] {});
+  } else if (cfg.rndv_pipeline) {
     send_progress_[hdr.sender_cookie].chunks_total = chunk_count(cfg, bytes);
   }
-  net_.post_ctl_evt(peer, rail, hdr);
+  net_.post_ctl_evt(peer, rail, hdr, proto == RndvProto::ReadRts ? &rts_rkeys : nullptr);
   rts_sent_.inc();
   bytes_sent_.add(static_cast<std::uint64_t>(bytes));
   return true;
 }
 
-void Rendezvous::accept(const MsgHeader& rts, const Request& req) {
+void Rendezvous::accept(const MsgHeader& rts, const Request& req,
+                        const std::vector<std::byte>& payload) {
   req->status = {rts.src_rank, rts.tag, static_cast<std::int64_t>(rts.size)};
   req->peer = rts.src_rank;
 
   const Config& cfg = host_.config();
   const int peer = rts.src_rank;
   const std::int64_t total = static_cast<std::int64_t>(rts.size);
+
+  if (rts.proto == static_cast<std::uint8_t>(RndvProto::ReadRts)) {
+    // The sender chose the read protocol: its rkeys ride in the RTS payload
+    // and the receiver pulls.  WriteRtsCts and WriteImm are receiver-
+    // identical (pin + CTS); the imm-vs-FIN difference only shows at
+    // completion time.
+    CtsRkeys rkeys;
+    if (payload.size() >= sizeof(CtsRkeys)) {
+      std::memcpy(&rkeys, payload.data(), sizeof(rkeys));
+    }
+    accept_read(rts, req, rkeys);
+    return;
+  }
 
   if (!cfg.rndv_pipeline) {
     // One-shot protocol: pin the whole target buffer, then a single CTS.
@@ -235,6 +338,175 @@ void Rendezvous::accept(const MsgHeader& rts, const Request& req) {
     host_.schedule_cpu_vci(rts.vci, cost,
                            [this, peer, cts, rkeys] { net_.send_ctl(peer, cts, rkeys); });
   }
+}
+
+// ---------------------------------------------------------- read rendezvous
+
+std::vector<Rendezvous::Stripe> Rendezvous::plan_limited(int peer, int vci,
+                                                         std::int64_t base_off,
+                                                         std::int64_t bytes, int width) {
+  const Config& cfg = host_.config();
+  const int nrails = net_.nrails(peer);
+  const int base = vci * nrails;
+  std::vector<int> cand;
+  if (net_.fault_enabled()) cand = net_.live_rails(peer, vci);
+  if (cand.empty()) {
+    cand.reserve(static_cast<std::size_t>(nrails));
+    for (int i = 0; i < nrails; ++i) cand.push_back(base + i);
+  }
+  if (width > 0 && width < static_cast<int>(cand.size())) {
+    // Forced width: keep `width` candidates starting at the lane cursor so
+    // successive narrow transfers still rotate over the whole slice.
+    RailCursor& cur = net_.cursor(peer, vci);
+    std::vector<int> pick;
+    pick.reserve(static_cast<std::size_t>(width));
+    for (int k = 0; k < width; ++k) {
+      pick.push_back(cand[static_cast<std::size_t>((cur.next + k) % static_cast<int>(cand.size()))]);
+    }
+    cur.next = (cur.next + width) % static_cast<int>(cand.size());
+    cand.swap(pick);
+  }
+  return mvx::plan_stripes(bytes, base_off, cand, cfg.min_stripe, {}, net_.cursor(peer, vci));
+}
+
+void Rendezvous::accept_read(const MsgHeader& rts, const Request& req, const CtsRkeys& rkeys) {
+  const Config& cfg = host_.config();
+  const int peer = rts.src_rank;
+  const int vci = rts.vci;
+  const std::int64_t total = static_cast<std::int64_t>(rts.size);
+  const std::uint64_t rcookie = new_cookie(req);
+  ReadProgress& rp = read_progress_[rcookie];
+  rp.sender_cookie = rts.sender_cookie;
+  rp.peer = peer;
+  rp.vci = vci;
+
+  sim::Time cost = cfg.ctl_cpu;
+  if (total <= 0) {
+    // Zero-byte rendezvous: nothing to pull, straight to Done.
+    host_.schedule_cpu_vci(vci, cost, [this, rcookie] { finish_read(rcookie); });
+    return;
+  }
+
+  PinCache::Region* reg = pin_cache_->acquire(req->recv_buf, total, &cost);
+  rp.pins.push_back(reg);
+  std::array<ib::LKey, kMaxHcas> lkeys{};
+  for (int h = 0; h < kMaxHcas; ++h) lkeys[static_cast<std::size_t>(h)] = reg->mr[h].lkey;
+
+  // rts.chunk carries the sender's forced stripe width (adaptive arm);
+  // 0 leaves the cut to this receiver's own policy inputs.
+  std::vector<Stripe> stripes = plan_limited(peer, vci, 0, total, static_cast<int>(rts.chunk));
+  if (stripes.empty()) stripes.push_back({vci * net_.nrails(peer), 0, total});
+  rp.pending = static_cast<int>(stripes.size());
+  if (read_stripes_ != nullptr) read_stripes_->add(stripes.size());
+
+  // Reads ignore rndv_pipeline chunking: the pull is one doorbell-batched
+  // shot (sender-side pinning already happened before the RTS, so there is
+  // no registration pipeline to overlap with).
+  cost += cfg.wqe_build_cpu * static_cast<std::int64_t>(stripes.size()) + cfg.doorbell_cpu;
+
+  const std::uint64_t base_raddr = rts.raddr;
+  std::vector<NetChannel::RndvStripe> batch;
+  batch.reserve(stripes.size());
+  for (const Stripe& st : stripes) {
+    NetChannel::RndvStripe wr;
+    wr.rail = st.rail;
+    // Read convention: src names the *local destination* slice, raddr/rkeys
+    // the remote source (the sender's pinned buffer).
+    wr.src = static_cast<const std::byte*>(req->recv_buf) + st.offset;
+    wr.len = st.len;
+    wr.raddr = base_raddr + static_cast<std::uint64_t>(st.offset);
+    wr.req_id = rcookie;
+    wr.lkeys = lkeys;
+    wr.rkeys = rkeys;
+    batch.push_back(wr);
+  }
+  host_.schedule_cpu_vci(vci, cost, [this, peer, batch = std::move(batch)] {
+    net_.post_read_batch(peer, batch);
+  });
+}
+
+void Rendezvous::finish_read(std::uint64_t rcookie) {
+  auto it = read_progress_.find(rcookie);
+  if (it == read_progress_.end()) {
+    throw std::logic_error("Rendezvous: finish_read for unknown cookie " +
+                           std::to_string(rcookie));
+  }
+  ReadProgress rp = std::move(it->second);
+  read_progress_.erase(it);
+  for (PinCache::Region* r : rp.pins) pin_cache_->release(r);
+  Request req = take_cookie(rcookie);
+  IB12X_DEBUG(host_.simulator().now(), "rank%d: read rendezvous %llu complete", host_.rank(),
+              (unsigned long long)rcookie);
+
+  MsgHeader done;
+  done.type = MsgType::Done;
+  done.vci = static_cast<std::uint8_t>(rp.vci);
+  done.src_rank = host_.rank();
+  done.sender_cookie = rp.sender_cookie;
+  net_.send_ctl(rp.peer, done, CtsRkeys{});
+  if (done_sent_ != nullptr) done_sent_->inc();
+  host_.complete_request(req);
+}
+
+void Rendezvous::on_read_done(int /*peer*/, std::uint64_t req_id) {
+  auto it = read_progress_.find(req_id);
+  if (it == read_progress_.end()) {
+    // Reads are idempotent and only ever retried after an *error* CQE, so a
+    // success completion for an unknown cookie is a protocol bug, not a dup.
+    throw std::logic_error("Rendezvous: read CQE for unknown cookie " + std::to_string(req_id));
+  }
+  if (--it->second.pending == 0) finish_read(req_id);
+}
+
+void Rendezvous::on_read_failed(int peer, const RndvStripe& st) {
+  restriped_.inc();
+  RndvStripe retry = st;
+  ++retry.attempts;
+  if (retry.attempts > host_.config().fault.stripe_retry_limit) {
+    throw std::runtime_error("Rendezvous: read retry limit exceeded to rank " +
+                             std::to_string(peer));
+  }
+  repost_read(peer, retry);
+}
+
+void Rendezvous::repost_read(int peer, const RndvStripe& st) {
+  const Config& cfg = host_.config();
+  const int vci = st.rail / net_.nrails(peer);
+  std::vector<int> live = net_.live_rails(peer, vci);
+  if (live.empty()) {
+    RndvStripe retry = st;
+    ++retry.attempts;
+    if (retry.attempts > cfg.fault.stripe_retry_limit) {
+      throw std::runtime_error("Rendezvous: no rail recovered within the read retry budget");
+    }
+    sim::Simulator& sim = host_.simulator();
+    sim.at(sim.now() + cfg.fault.rail_recovery,
+           sim::boxed([this, peer, retry] { repost_read(peer, retry); }));
+    return;
+  }
+
+  std::vector<Stripe> parts =
+      mvx::plan_stripes(st.len, 0, live, cfg.min_stripe, {}, net_.cursor(peer, vci));
+  if (parts.empty()) parts.push_back({live.front(), 0, st.len});
+
+  // Same in-flight accounting rule as write failover: the failed read was
+  // counted once; k replacement pulls add k-1.
+  read_progress_.at(st.req_id).pending += static_cast<int>(parts.size()) - 1;
+  if (read_stripes_ != nullptr) read_stripes_->add(parts.size());
+
+  std::vector<NetChannel::RndvStripe> batch;
+  batch.reserve(parts.size());
+  for (const Stripe& p : parts) {
+    RndvStripe wr = st;  // inherits req_id, lkeys, rkeys, attempts
+    wr.rail = p.rail;
+    wr.src = st.src + p.offset;
+    wr.len = p.len;
+    wr.raddr = st.raddr + static_cast<std::uint64_t>(p.offset);
+    batch.push_back(wr);
+  }
+  host_.schedule_cpu_vci(
+      vci, cfg.wqe_build_cpu * static_cast<std::int64_t>(batch.size()) + cfg.doorbell_cpu,
+      [this, peer, batch = std::move(batch)] { net_.post_read_batch(peer, batch); });
 }
 
 void Rendezvous::on_cts(const MsgHeader& hdr, const CtsRkeys& rkeys) {
@@ -332,7 +604,19 @@ void Rendezvous::start_writes(int peer, const Request& req, const MsgHeader& cts
   const Config& cfg = host_.config();
   const std::int64_t bytes = req->bytes;
 
-  std::vector<Stripe> stripes = plan_stripes(peer, req, 0, bytes);
+  // A forced stripe width (adaptive arm) overrides the marker policy's cut.
+  const SendMeta* meta = nullptr;
+  if (rndv_active_) {
+    auto mit = send_meta_.find(cts.sender_cookie);
+    if (mit != send_meta_.end()) meta = &mit->second;
+  }
+  std::vector<Stripe> stripes;
+  if (meta != nullptr && meta->width > 0) {
+    stripes = plan_limited(peer, req->vci, 0, bytes, meta->width);
+    if (stripes.empty()) stripes.push_back({req->vci * net_.nrails(peer), 0, bytes});
+  } else {
+    stripes = plan_stripes(peer, req, 0, bytes);
+  }
 
   sim::Time cost = cfg.ctl_cpu;
   std::array<ib::LKey, kMaxHcas> lkeys{};
@@ -340,6 +624,22 @@ void Rendezvous::start_writes(int peer, const Request& req, const MsgHeader& cts
     PinCache::Region* reg = pin_cache_->acquire(req->send_buf, bytes, &cost);
     send_pins_[cts.sender_cookie] = reg;
     for (int h = 0; h < kMaxHcas; ++h) lkeys[static_cast<std::size_t>(h)] = reg->mr[h].lkey;
+  }
+
+  // WriteImm: a single-stripe transfer folds the immediate into the data
+  // write itself (true three-step rendezvous); multi-stripe transfers keep
+  // plain writes and append a zero-byte trailing imm once all land.
+  bool fold = false;
+  std::uint32_t imm = 0;
+  if (meta != nullptr && meta->proto == RndvProto::WriteImm) {
+    if ((cts.receiver_cookie >> 28) != 0) {
+      throw std::logic_error("Rendezvous: receiver cookie exceeds imm capacity");
+    }
+    imm = (static_cast<std::uint32_t>(req->vci) << 28) |
+          static_cast<std::uint32_t>(cts.receiver_cookie);
+    fold = stripes.size() == 1;
+    imm_state_[cts.sender_cookie] = ImmState{imm, fold, req->vci, fold};
+    if (fold && imm_folded_ != nullptr) imm_folded_->inc();
   }
 
   req->pending_writes = static_cast<int>(stripes.size());
@@ -354,7 +654,8 @@ void Rendezvous::start_writes(int peer, const Request& req, const MsgHeader& cts
     const Stripe st = stripes[i];
     const sim::Time when = (i == 0 ? cost : 0) + cfg.post_cpu;
     const std::uint64_t raddr = cts.raddr;
-    host_.schedule_cpu_vci(req->vci, when, [this, peer, st, req_id, raddr, rkeys, lkeys] {
+    host_.schedule_cpu_vci(req->vci, when,
+                           [this, peer, st, req_id, raddr, rkeys, lkeys, fold, imm] {
       Request req = peek_cookie(req_id);
       NetChannel::RndvStripe wr;
       wr.rail = st.rail;
@@ -364,7 +665,11 @@ void Rendezvous::start_writes(int peer, const Request& req, const MsgHeader& cts
       wr.req_id = req_id;
       wr.lkeys = lkeys;
       wr.rkeys = rkeys;
-      net_.post_write(peer, wr);
+      if (fold) {
+        net_.post_write_imm(peer, wr, imm);
+      } else {
+        net_.post_write(peer, wr);
+      }
     });
   }
 }
@@ -380,6 +685,19 @@ void Rendezvous::start_chunk_writes(int peer, const Request& req, const MsgHeade
       !chunks_seen_[cts.sender_cookie].insert(cts.chunk).second) {
     dup_ctl_dropped_.inc();  // replayed CTS for a chunk already in progress
     return;
+  }
+  // Pipelined WriteImm: chunks move as plain writes; the FIN replacement is
+  // a zero-byte trailing imm injected when the last chunk retires.
+  if (rndv_active_ && imm_state_.count(cts.sender_cookie) == 0) {
+    auto mit = send_meta_.find(cts.sender_cookie);
+    if (mit != send_meta_.end() && mit->second.proto == RndvProto::WriteImm) {
+      if ((cts.receiver_cookie >> 28) != 0) {
+        throw std::logic_error("Rendezvous: receiver cookie exceeds imm capacity");
+      }
+      const std::uint32_t imm = (static_cast<std::uint32_t>(req->vci) << 28) |
+                                static_cast<std::uint32_t>(cts.receiver_cookie);
+      imm_state_[cts.sender_cookie] = ImmState{imm, false, req->vci, false};
+    }
   }
   ++sp.cts_seen;
   cts_chunks_.inc();
@@ -433,15 +751,41 @@ void Rendezvous::start_chunk_writes(int peer, const Request& req, const MsgHeade
 
 void Rendezvous::finish_send(int peer, std::uint64_t cookie, const Request& req) {
   // All stripes placed remotely (CQE implies remote visibility): tell the
-  // receiver and complete the local send.
-  MsgHeader fin;
-  fin.type = MsgType::Fin;
-  fin.vci = static_cast<std::uint8_t>(req->vci);
-  fin.src_rank = host_.rank();
-  fin.receiver_cookie = req->peer_cookie;
-  net_.send_ctl(peer, fin, CtsRkeys{});
+  // receiver and complete the local send.  Under WriteImm the notification
+  // already travelled with the immediate, so the FIN is elided.
+  bool elide_fin = false;
+  if (!imm_state_.empty()) {
+    auto im = imm_state_.find(cookie);
+    if (im != imm_state_.end()) {
+      elide_fin = true;
+      imm_state_.erase(im);
+    }
+  }
+  if (!elide_fin) {
+    MsgHeader fin;
+    fin.type = MsgType::Fin;
+    fin.vci = static_cast<std::uint8_t>(req->vci);
+    fin.src_rank = host_.rank();
+    fin.receiver_cookie = req->peer_cookie;
+    net_.send_ctl(peer, fin, CtsRkeys{});
+  }
+  record_policy(cookie, req);
   outstanding_.erase(cookie);
   host_.complete_request(req);
+}
+
+void Rendezvous::post_trailing_imm(int peer, std::uint64_t cookie, const Request& /*req*/,
+                                   const ImmState& im) {
+  // Zero-byte write-with-imm: consumes a receiver slot but carries no data;
+  // post_write_imm scans the VCI slice for a live rail with a credit.
+  NetChannel::RndvStripe wr;
+  wr.rail = im.vci * net_.nrails(peer);
+  wr.len = 0;
+  wr.req_id = cookie;
+  if (imm_sent_ != nullptr) imm_sent_->inc();
+  const std::uint32_t imm = im.imm;
+  host_.schedule_cpu_vci(im.vci, host_.config().post_cpu,
+                         [this, peer, wr, imm] { net_.post_write_imm(peer, wr, imm); });
 }
 
 void Rendezvous::on_write_done(int peer, std::uint64_t req_id) {
@@ -453,6 +797,18 @@ void Rendezvous::on_write_done(int peer, std::uint64_t req_id) {
     IB12X_DEBUG(host_.simulator().now(), "rank%d: write CQE cookie %llu remaining %d",
                 host_.rank(), (unsigned long long)req_id, req->pending_writes - 1);
     if (--req->pending_writes == 0) {
+      if (!imm_state_.empty()) {
+        // Multi-stripe WriteImm: all data writes landed — the FIN
+        // replacement (zero-byte trailing imm) goes out now and counts as
+        // one more pending write; its CQE re-enters here and finishes.
+        auto im = imm_state_.find(cookie);
+        if (im != imm_state_.end() && !im->second.folded && !im->second.posted) {
+          im->second.posted = true;
+          req->pending_writes = 1;
+          post_trailing_imm(peer, cookie, req, im->second);
+          return;
+        }
+      }
       auto sit = send_pins_.find(req_id);
       if (sit != send_pins_.end()) {
         pin_cache_->release(sit->second);
@@ -472,6 +828,17 @@ void Rendezvous::on_write_done(int peer, std::uint64_t req_id) {
   if (--cit->second == 0) sp.chunk_writes.erase(cit);
   if (sp.cts_seen == sp.chunks_total && sp.chunk_writes.empty()) {
     Request req = peek_cookie(cookie);
+    if (!imm_state_.empty()) {
+      // Pipelined WriteImm: last chunk retired — inject the trailing imm as
+      // a synthetic chunk-0 write before finishing.
+      auto im = imm_state_.find(cookie);
+      if (im != imm_state_.end() && !im->second.folded && !im->second.posted) {
+        im->second.posted = true;
+        sp.chunk_writes[0] = 1;
+        post_trailing_imm(peer, cookie, req, im->second);
+        return;
+      }
+    }
     IB12X_DEBUG(host_.simulator().now(), "rank%d: pipelined send %llu complete (%u chunks)",
                 host_.rank(), (unsigned long long)cookie, sp.chunks_total);
     for (PinCache::Region* r : sp.pins) pin_cache_->release(r);
@@ -488,6 +855,21 @@ void Rendezvous::on_write_failed(int peer, const RndvStripe& st) {
   if (retry.attempts > host_.config().fault.stripe_retry_limit) {
     throw std::runtime_error("Rendezvous: stripe retry limit exceeded to rank " +
                              std::to_string(peer));
+  }
+  if (!imm_state_.empty()) {
+    // A failed imm-carrying write (folded data write, or the zero-byte
+    // trailing imm) replays as an imm write: the receiver never saw the
+    // immediate, and the data — if any — is idempotent to rewrite.  A dead
+    // rail or empty credit pool is absorbed by post_write_imm's own scan
+    // and pending queue.
+    auto im = imm_state_.find(st.req_id & kCookieMask);
+    if (im != imm_state_.end() && (im->second.folded || st.len == 0)) {
+      const Config& cfg = host_.config();
+      const std::uint32_t imm = im->second.imm;
+      host_.schedule_cpu_vci(im->second.vci, cfg.wqe_build_cpu + cfg.doorbell_cpu,
+                             [this, peer, retry, imm] { net_.post_write_imm(peer, retry, imm); });
+      return;
+    }
   }
   repost_stripe(peer, retry);
 }
@@ -562,6 +944,61 @@ void Rendezvous::on_fin(const MsgHeader& hdr) {
     recv_progress_.erase(it);
   }
   host_.schedule_cpu_vci(hdr.vci, host_.config().ctl_cpu,
+                         [this, req] { host_.complete_request(req); });
+}
+
+void Rendezvous::on_done(const MsgHeader& hdr) {
+  // Sender side of ReadRts: the receiver finished pulling.  Mirrors on_fin,
+  // but keyed by the *sender* cookie and releasing the sender-side pin.
+  auto oit = outstanding_.find(hdr.sender_cookie);
+  if (oit == outstanding_.end()) {
+    if (net_.fault_enabled()) {
+      dup_ctl_dropped_.inc();  // replayed Done for an already-finished send
+      return;
+    }
+    throw std::logic_error("Rendezvous: unknown request cookie " +
+                           std::to_string(hdr.sender_cookie));
+  }
+  Request req = oit->second;
+  outstanding_.erase(oit);
+  IB12X_DEBUG(host_.simulator().now(), "rank%d: Done for cookie %llu", host_.rank(),
+              (unsigned long long)hdr.sender_cookie);
+  auto sit = send_pins_.find(hdr.sender_cookie);
+  if (sit != send_pins_.end()) {
+    pin_cache_->release(sit->second);
+    send_pins_.erase(sit);
+  }
+  record_policy(hdr.sender_cookie, req);
+  host_.schedule_cpu_vci(hdr.vci, host_.config().ctl_cpu,
+                         [this, req] { host_.complete_request(req); });
+}
+
+void Rendezvous::on_imm(std::uint32_t imm_data) {
+  // WriteImm receiver completion: the FIN is elided, so everything needed to
+  // finish — the VCI for CPU routing and the receiver cookie — is decoded
+  // from the immediate itself, never from CTS-echoed header fields (which do
+  // not exist on this path).  Releasing the pins here is what keeps the
+  // PinCache balanced without a FIN.
+  const int vci = static_cast<int>(imm_data >> 28);
+  const std::uint64_t rcookie = imm_data & ((std::uint32_t{1} << 28) - 1);
+  auto oit = outstanding_.find(rcookie);
+  if (oit == outstanding_.end()) {
+    if (net_.fault_enabled()) {
+      dup_ctl_dropped_.inc();  // replayed imm (its first copy did land)
+      return;
+    }
+    throw std::logic_error("Rendezvous: unknown request cookie " + std::to_string(rcookie));
+  }
+  Request req = oit->second;
+  outstanding_.erase(oit);
+  IB12X_DEBUG(host_.simulator().now(), "rank%d: imm completion for cookie %llu vci %d",
+              host_.rank(), (unsigned long long)rcookie, vci);
+  auto it = recv_progress_.find(rcookie);
+  if (it != recv_progress_.end()) {
+    for (PinCache::Region* r : it->second.pins) pin_cache_->release(r);
+    recv_progress_.erase(it);
+  }
+  host_.schedule_cpu_vci(vci, host_.config().ctl_cpu,
                          [this, req] { host_.complete_request(req); });
 }
 

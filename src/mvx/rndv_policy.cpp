@@ -1,0 +1,84 @@
+#include "mvx/rndv_policy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ib12x::mvx {
+
+RndvPolicy::RndvPolicy(const Config& cfg, int rank, int nrails)
+    : rng_(cfg.rndv.seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(rank + 1))),
+      epsilon_(cfg.rndv.epsilon) {
+  if (epsilon_ < 0.0 || epsilon_ > 1.0) {
+    throw std::invalid_argument("RndvPolicy: epsilon must be in [0, 1]");
+  }
+  int cap = std::max(1, nrails);
+  if (cfg.rndv.max_width > 0) cap = std::min(cap, cfg.rndv.max_width);
+  static constexpr RndvProto kProtos[] = {RndvProto::WriteRtsCts, RndvProto::ReadRts,
+                                          RndvProto::WriteImm};
+  for (RndvProto p : kProtos) {
+    for (int w = 1; w <= cap; w *= 2) arms_.push_back({p, w});
+  }
+}
+
+int RndvPolicy::size_class(std::int64_t bytes) {
+  int c = 0;
+  while (bytes > 1) {
+    bytes >>= 1;
+    ++c;
+  }
+  return c;
+}
+
+std::vector<RndvPolicy::ArmStat>& RndvPolicy::cell(int peer, std::int64_t bytes) {
+  auto& stats = cells_[{peer, size_class(bytes)}];
+  if (stats.empty()) stats.resize(arms_.size());
+  return stats;
+}
+
+int RndvPolicy::choose(int peer, std::int64_t bytes, int live_count, bool* explored) {
+  if (explored != nullptr) *explored = false;
+  std::vector<ArmStat>& stats = cell(peer, bytes);
+  const int max_w = std::max(1, live_count);
+
+  // Eligible = arms whose stripe width fits the live-rail mask.  The arm
+  // list always contains width 1, so the set is never empty.
+  std::vector<int> eligible;
+  eligible.reserve(arms_.size());
+  for (int i = 0; i < static_cast<int>(arms_.size()); ++i) {
+    if (arms_[static_cast<std::size_t>(i)].width <= max_w) eligible.push_back(i);
+  }
+
+  // Unplayed arms first, in index order: deterministic warm-up so every arm
+  // has a measurement before the greedy comparison means anything.
+  for (int i : eligible) {
+    if (stats[static_cast<std::size_t>(i)].plays == 0) {
+      if (explored != nullptr) *explored = true;
+      return i;
+    }
+  }
+
+  if (rng_.next_double() < epsilon_) {
+    if (explored != nullptr) *explored = true;
+    return eligible[static_cast<std::size_t>(
+        rng_.next_below(static_cast<std::uint64_t>(eligible.size())))];
+  }
+
+  int best = eligible.front();
+  for (int i : eligible) {
+    if (stats[static_cast<std::size_t>(i)].mean > stats[static_cast<std::size_t>(best)].mean) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+void RndvPolicy::record(int peer, std::int64_t bytes, int arm_index, sim::Time elapsed) {
+  std::vector<ArmStat>& stats = cell(peer, bytes);
+  ArmStat& s = stats.at(static_cast<std::size_t>(arm_index));
+  const double reward =
+      static_cast<double>(bytes) / static_cast<double>(std::max<sim::Time>(elapsed, 1));
+  ++s.plays;
+  s.mean += (reward - s.mean) / static_cast<double>(s.plays);
+}
+
+}  // namespace ib12x::mvx

@@ -1,0 +1,77 @@
+// Online adaptive rendezvous-protocol selection.
+//
+// The static rules (Config::rndv.protocol plus the striping threshold) pick
+// one protocol shape for the whole run; this module instead treats every
+// (peer, size-class) pair as its own epsilon-greedy bandit whose arms are the
+// cross product of rendezvous protocol × forced stripe width.  Rewards are
+// observed end-to-end throughput (message bytes over the RTS→completion
+// interval), so the policy folds in everything the telemetry gauges see —
+// rail queue depth, rail health, protocol overheads — without modelling any
+// of it explicitly.
+//
+// Determinism contract: the arm stream is a pure function of the seed
+// (Config::rndv.seed xor the rank) and the call sequence.  No wall-clock, no
+// host randomness; a rerun with the same seed replays bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "mvx/config.hpp"
+#include "mvx/wire.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace ib12x::mvx {
+
+/// One bandit arm: a rendezvous protocol plus a forced stripe width (the
+/// number of rails a large transfer spreads over; 1 = no striping).
+struct RndvArm {
+  RndvProto proto = RndvProto::WriteRtsCts;
+  int width = 1;
+};
+
+class RndvPolicy {
+ public:
+  /// `nrails` is the per-VCI rail count; widths enumerate the powers of two
+  /// up to min(nrails, Config::rndv.max_width) (max_width 0 = no cap).
+  RndvPolicy(const Config& cfg, int rank, int nrails);
+
+  /// Picks an arm for a `bytes`-byte message to `peer` with `live_count`
+  /// rails currently up.  Arms whose width exceeds the live count are never
+  /// candidates (the dead-rail mask).  Unplayed eligible arms are drawn
+  /// first, in index order, so every arm gets at least one measurement;
+  /// after that the pick is epsilon-greedy on mean observed throughput.
+  /// `explored` (optional) reports whether this pick was an exploration.
+  int choose(int peer, std::int64_t bytes, int live_count, bool* explored = nullptr);
+
+  /// Records a finished transfer for the arm `choose` returned: `elapsed`
+  /// simulated time from RTS to completion.
+  void record(int peer, std::int64_t bytes, int arm_index, sim::Time elapsed);
+
+  [[nodiscard]] const RndvArm& arm(int index) const {
+    return arms_.at(static_cast<std::size_t>(index));
+  }
+  [[nodiscard]] int arms() const { return static_cast<int>(arms_.size()); }
+
+  /// Size-class bucketing: floor(log2(bytes)) clamped to >= 0 — every power
+  /// of two is its own bandit.
+  [[nodiscard]] static int size_class(std::int64_t bytes);
+
+ private:
+  struct ArmStat {
+    std::uint64_t plays = 0;
+    double mean = 0.0;  ///< running mean reward (bytes per unit sim-time)
+  };
+
+  std::vector<ArmStat>& cell(int peer, std::int64_t bytes);
+
+  std::vector<RndvArm> arms_;
+  std::map<std::pair<int, int>, std::vector<ArmStat>> cells_;
+  sim::Rng rng_;
+  double epsilon_;
+};
+
+}  // namespace ib12x::mvx

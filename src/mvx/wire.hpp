@@ -11,15 +11,27 @@ namespace ib12x::mvx {
 
 enum class MsgType : std::uint8_t {
   Eager,  ///< header + payload, matched like a normal message
-  Rts,    ///< rendezvous request-to-send (matched like a message; no payload)
+  Rts,    ///< rendezvous request-to-send (matched like a message; ReadRts
+          ///< variant carries the sender-side rkeys as payload)
   Cts,    ///< clear-to-send: receiver buffer {addr, rkey} (control, unordered)
   Fin,    ///< rendezvous finished (control, unordered)
+  Done,   ///< read-rendezvous finished, receiver → sender (control, unordered)
+};
+
+/// Selectable rendezvous protocol, carried in the RTS so the receiver obeys
+/// the *sender's* choice (the two sides may be configured differently, and
+/// the adaptive policy decides per message).  Values are wire format.
+enum class RndvProto : std::uint8_t {
+  WriteRtsCts = 0,  ///< four-step RTS / CTS / RDMA-write / FIN (the paper's)
+  ReadRts = 1,      ///< three-step: RTS carries rkeys, receiver RDMA-reads, Done
+  WriteImm = 2,     ///< three-step: RTS / CTS / write-with-imm (FIN elided)
 };
 
 struct MsgHeader {
   MsgType type = MsgType::Eager;
   std::uint8_t kind = 0;         ///< CommKind recorded by the communication marker
   std::uint8_t vci = 0;          ///< virtual communication interface (seq-space slice)
+  std::uint8_t proto = 0;        ///< Rts: RndvProto the sender chose (wire value)
   std::int32_t src_rank = -1;
   std::int32_t tag = 0;
   std::int32_t ctx = 0;          ///< communicator context id
@@ -29,8 +41,10 @@ struct MsgHeader {
   std::uint64_t sender_cookie = 0;
   std::uint64_t receiver_cookie = 0;
   std::uint64_t raddr = 0;       ///< Cts: receiver buffer address (chunk base when pipelined)
+                                 ///< / ReadRts: sender buffer address
   std::uint32_t rkey = 0;        ///< Cts: receiver buffer rkey
   std::uint32_t chunk = 0;       ///< pipelined Cts: chunk index within the message
+                                 ///< / ReadRts: forced stripe width (0 = receiver's choice)
 };
 
 inline constexpr std::size_t kHeaderBytes = sizeof(MsgHeader);

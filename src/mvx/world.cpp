@@ -111,6 +111,21 @@ World::World(ClusterSpec spec, Config cfg) : spec_(spec), cfg_(cfg) {
     }
   }
 
+  // Rendezvous-protocol knobs: fail fast on nonsense arm spaces.
+  if (cfg_.rndv.epsilon < 0.0 || cfg_.rndv.epsilon > 1.0) {
+    throw std::invalid_argument(
+        "Config: rndv.epsilon = " + std::to_string(cfg_.rndv.epsilon) +
+        " is out of range: the exploration rate is a probability.  Supported "
+        "combinations: 0 <= rndv.epsilon <= 1");
+  }
+  if (cfg_.rndv.max_width < 0 || cfg_.rndv.max_width > cfg_.rails()) {
+    throw std::invalid_argument(
+        "Config: rndv.max_width = " + std::to_string(cfg_.rndv.max_width) +
+        " conflicts with rails() = " + std::to_string(cfg_.rails()) +
+        ": a stripe cannot spread over more rails than a peer pair has.  "
+        "Supported combinations: 0 (no cap) <= rndv.max_width <= rails()");
+  }
+
   // Parallel engine: min(sim_shards, nodes) shards.  Nodes are placed whole
   // (endpoints, shm channels, HCAs of one node always share a shard, so only
   // fabric traffic crosses shards); *which* shard is the placement policy

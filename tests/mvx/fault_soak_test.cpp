@@ -212,6 +212,55 @@ TEST(FaultSoak, LegacyWiringLedgerStillBalances) {
   EXPECT_EQ(r.send_errors, r.eager_retries + r.restriped);
 }
 
+class FaultSoakReadRts : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultSoakReadRts, LedgerBalancesUnderReadRendezvous) {
+  // The receiver-driven protocol under the same soak: every failed RDMA-read
+  // CQE must be re-planned over the live rails (fault.rndv_restriped), every
+  // replayed Done suppressed, and payloads stay byte-exact (asserted inside
+  // run_soak).
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam()) * 2862933555777941757ull + 3;
+  const SoakResult r = run_soak(seed, /*messages=*/48, [](Config& cfg) {
+    cfg.rndv.protocol = Config::RndvConfig::Protocol::ReadRts;
+  });
+  EXPECT_GT(r.send_errors, 0u) << "seed " << seed << " injected no faults";
+  EXPECT_EQ(r.send_errors, r.eager_retries + r.restriped) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultSoakReadRts, ::testing::Range(0, 3));
+
+class FaultSoakWriteImm : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultSoakWriteImm, LedgerBalancesWithElidedFin) {
+  // With the FIN elided, a faulted immediate (folded or trailing) must be
+  // replayed as an immediate — the receiver cannot complete off a FIN that
+  // never existed — and a duplicated immediate after an ACK drop must be
+  // suppressed, not double-complete the receive.
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam()) * 3935559000370003845ull + 7;
+  const SoakResult r = run_soak(seed, /*messages=*/48, [](Config& cfg) {
+    cfg.rndv.protocol = Config::RndvConfig::Protocol::WriteImm;
+  });
+  EXPECT_GT(r.send_errors, 0u) << "seed " << seed << " injected no faults";
+  EXPECT_EQ(r.send_errors, r.eager_retries + r.restriped) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultSoakWriteImm, ::testing::Range(0, 3));
+
+TEST(FaultSoak, NewProtocolsBitReproduciblePerSeed) {
+  for (auto proto : {Config::RndvConfig::Protocol::ReadRts, Config::RndvConfig::Protocol::WriteImm}) {
+    auto tweak = [proto](Config& cfg) { cfg.rndv.protocol = proto; };
+    const SoakResult a = run_soak(0x5eed0002, 40, tweak);
+    const SoakResult b = run_soak(0x5eed0002, 40, tweak);
+    EXPECT_EQ(a.end_time, b.end_time) << "protocol " << static_cast<int>(proto);
+    ASSERT_EQ(a.snapshot.size(), b.snapshot.size());
+    for (std::size_t i = 0; i < a.snapshot.size(); ++i) {
+      EXPECT_EQ(a.snapshot[i].second, b.snapshot[i].second)
+          << "counter " << a.snapshot[i].first << " diverged under protocol "
+          << static_cast<int>(proto);
+    }
+  }
+}
+
 TEST(FaultSoak, DistinctSeedsTakeDistinctFaultPaths) {
   // Not a correctness property per se, but a canary: if two different seeds
   // produce identical fault telemetry, the plan generator is likely ignoring
